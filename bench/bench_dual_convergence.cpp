@@ -1,0 +1,48 @@
+// EXP-T4 -- Section 2.2's conversion: a rho-dual approximation plus
+// dichotomic search yields a rho*(1+2^-k)-approximation in k extra
+// iterations. We sweep epsilon and report iterations and achieved ratio.
+//
+// Shape to verify: iterations grow ~log(1/eps); the measured ratio stays
+// below sqrt(3)*(1+eps) and improves only marginally below eps ~ 1%.
+
+#include <iostream>
+
+#include "core/mrt_scheduler.hpp"
+#include "support/math_utils.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace malsched;
+  std::cout << "EXP-T4: dichotomic-search convergence (m = 32, n = 64, 16 seeds)\n\n";
+
+  constexpr int kSeeds = 16;
+  Table table({"epsilon", "bound sqrt(3)(1+eps)", "mean iters", "mean ratio", "max ratio",
+               "gaps"});
+
+  for (const double eps : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002}) {
+    Summary iterations;
+    Summary ratios;
+    int gaps = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      GeneratorOptions generator;
+      generator.machines = 32;
+      generator.tasks = 64;
+      const auto instance = generate_instance(WorkloadFamily::kUniform, generator,
+                                              4000 + static_cast<std::uint64_t>(seed));
+      MrtOptions options;
+      options.search.epsilon = eps;
+      const auto result = mrt_schedule(instance, options);
+      iterations.add(static_cast<double>(result.iterations));
+      ratios.add(result.ratio);
+      gaps += result.gaps;
+    }
+    table.add_row({cell(eps, 3), cell(kSqrt3 * (1.0 + eps), 3), cell(iterations.mean(), 1),
+                   cell(ratios.mean(), 4), cell(ratios.max(), 4), cell(gaps)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: iterations ~ log2(1/eps) extra steps; ratio always\n"
+            << "below the bound column; zero gaps (Theorem 3's completeness).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// EXP-T2 -- runtime scaling of the algorithm's pieces, matching the
+// complexity claims of Theorems 2 and 3:
+//   * canonical list step O(n log n + n m),
+//   * two-shelf step dominated by the knapsack: exact DP O(n m) per guess
+//     versus the FPTAS,
+//   * full solve = O(log(1/eps)) dual steps.
+//
+// Shape to verify: near-linear growth in n at fixed m and in m at fixed n;
+// FPTAS flattens the m-dependence of the knapsack at large m.
+
+#include <benchmark/benchmark.h>
+
+#include "core/canonical_list.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "core/two_shelf.hpp"
+#include "model/lower_bounds.hpp"
+#include "knapsack/knapsack.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace malsched;
+
+Instance make_instance(int tasks, int machines, std::uint64_t seed) {
+  GeneratorOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  return generate_instance(WorkloadFamily::kUniform, options, seed);
+}
+
+void BM_FullSolve_N(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<int>(state.range(0)), 64, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrt_schedule(instance).makespan);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSolve_N)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_FullSolve_M(benchmark::State& state) {
+  const auto instance = make_instance(128, static_cast<int>(state.range(0)), 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrt_schedule(instance).makespan);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSolve_M)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_CanonicalListStep(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<int>(state.range(0)), 64, 44);
+  const double guess = 1.2 * makespan_lower_bound(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_list_schedule(instance, guess).schedule.has_value());
+  }
+}
+BENCHMARK(BM_CanonicalListStep)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_TwoShelfStep_Exact(benchmark::State& state) {
+  const auto instance = make_instance(128, static_cast<int>(state.range(0)), 45);
+  const double guess = 1.2 * makespan_lower_bound(instance);
+  TwoShelfOptions options;
+  options.knapsack = KnapsackMode::kExact;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_shelf_schedule(instance, guess, options).schedule.has_value());
+  }
+}
+BENCHMARK(BM_TwoShelfStep_Exact)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_TwoShelfStep_Fptas(benchmark::State& state) {
+  const auto instance = make_instance(128, static_cast<int>(state.range(0)), 45);
+  const double guess = 1.2 * makespan_lower_bound(instance);
+  TwoShelfOptions options;
+  options.knapsack = KnapsackMode::kFptas;
+  options.fptas_eps = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_shelf_schedule(instance, guess, options).schedule.has_value());
+  }
+}
+BENCHMARK(BM_TwoShelfStep_Fptas)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_KnapsackExact(benchmark::State& state) {
+  Rng rng(46);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.weight = rng.uniform_int(1, 64);
+    item.profit = rng.uniform_int(1, 64);
+  }
+  const long long capacity = static_cast<long long>(n) * 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_exact(items, capacity).profit);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackExact)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_KnapsackFptas(benchmark::State& state) {
+  Rng rng(47);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.weight = rng.uniform_int(1, 64);
+    item.profit = rng.uniform_int(1, 1 << 20);  // large profits: DP infeasible
+  }
+  const long long capacity = static_cast<long long>(n) * 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_fptas(items, capacity, 0.25).profit);
+  }
+}
+BENCHMARK(BM_KnapsackFptas)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// HPC batch scheduling with moldable jobs: repeatedly drain a queue
+// snapshot with the sqrt(3) scheduler and report utilization against the
+// strategies an operator might hand-roll (fixed user-requested widths,
+// pure sequential backfill).
+//
+// Run: ./build/examples/batch_scheduler
+
+#include <iostream>
+
+#include "baselines/naive.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "model/lower_bounds.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+/// Machine utilization of a schedule: busy area over m * makespan.
+double utilization(const malsched::Schedule& schedule, const malsched::Instance& instance) {
+  double busy = 0.0;
+  for (int i = 0; i < instance.size(); ++i) {
+    const auto& assignment = schedule.of(i);
+    busy += static_cast<double>(assignment.procs()) * assignment.duration;
+  }
+  return busy / (static_cast<double>(instance.machines()) * schedule.makespan());
+}
+
+}  // namespace
+
+int main() {
+  using namespace malsched;
+  std::cout << "Moldable batch queue: draining snapshots on a 128-node machine\n\n";
+
+  TraceOptions options;
+  options.machines = 128;
+  options.jobs = 96;
+
+  Table table({"snapshot", "jobs", "MRT makespan", "MRT util%", "half-speedup", "lpt-seq",
+               "speedup vs lpt"});
+  Summary mrt_util;
+  for (int snapshot = 0; snapshot < 6; ++snapshot) {
+    const auto instance = trace_snapshot(options, 500 + static_cast<std::uint64_t>(snapshot));
+    const auto mrt = mrt_schedule(instance);
+    const auto half = half_max_speedup_schedule(instance);
+    const auto lpt = lpt_sequential_schedule(instance);
+    const double util = 100.0 * utilization(mrt.schedule, instance);
+    mrt_util.add(util);
+    table.add_row({cell(snapshot), cell(instance.size()), cell(mrt.makespan, 2),
+                   cell(util, 1), cell(half.makespan(), 2), cell(lpt.makespan(), 2),
+                   cell(lpt.makespan() / mrt.makespan, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nmean MRT utilization: " << cell(mrt_util.mean(), 1)
+            << "% -- the dual search squeezes the queue against its certified lower\n"
+            << "bound, so idle area only remains where the speedup curves flatten.\n";
+  return 0;
+}

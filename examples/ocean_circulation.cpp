@@ -1,0 +1,69 @@
+// The paper's motivating application (Section 1, reference [3]): scheduling
+// the blocks of an adaptive-mesh ocean circulation model as malleable tasks.
+//
+// Each refinement block is a malleable task whose speedup saturates as the
+// halo-exchange overhead grows with the processor count. At every coarse
+// time step the scheduler re-partitions the machine among the blocks; this
+// example runs a few steps with the mesh refining between them (a storm
+// system intensifying) and compares the sqrt(3) scheduler against the
+// practitioner baselines.
+//
+// Run: ./build/examples/ocean_circulation
+
+#include <iostream>
+
+#include "baselines/naive.hpp"
+#include "baselines/two_phase.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "model/lower_bounds.hpp"
+#include "sched/gantt.hpp"
+#include "support/table.hpp"
+#include "workload/ocean.hpp"
+
+int main() {
+  using namespace malsched;
+  std::cout << "Adaptive-mesh ocean circulation scheduling (paper Section 1, ref [3])\n\n";
+
+  OceanOptions options;
+  options.machines = 48;
+  options.base_grid = 6;
+  options.max_refine_level = 3;
+
+  Table table({"step", "refine prob", "blocks", "LB", "MRT", "2phase-ffdh", "lpt-seq",
+               "MRT ratio"});
+
+  // The storm intensifies: refinement probability grows step by step.
+  const double refine_steps[] = {0.05, 0.2, 0.4, 0.6, 0.8};
+  int step = 0;
+  Instance last(1, {});
+  MrtResult last_result{Schedule(1, 0), 0, 0, 0, 0, 0, 0, {}};
+  for (const double refine : refine_steps) {
+    options.refine_prob = refine;
+    const auto instance = ocean_instance(options, 100 + static_cast<std::uint64_t>(step));
+    const double lb = makespan_lower_bound(instance);
+
+    const auto mrt = mrt_schedule(instance);
+    TwoPhaseOptions two_phase;
+    const auto baseline = two_phase_schedule(instance, two_phase);
+    const auto lpt = lpt_sequential_schedule(instance);
+
+    table.add_row({cell(step), cell(refine, 2), cell(instance.size()), cell(lb, 3),
+                   cell(mrt.makespan, 3), cell(baseline.makespan, 3),
+                   cell(lpt.makespan(), 3), cell(mrt.ratio, 3)});
+    last = instance;
+    last_result = mrt;
+    ++step;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfinal step schedule (storm fully developed, " << last.size()
+            << " blocks):\n\n";
+  GanttOptions gantt;
+  gantt.max_rows = 24;
+  render_gantt(std::cout, last_result.schedule, last, gantt);
+
+  std::cout << "\nreading: as the mesh refines, many small blocks appear; the malleable\n"
+            << "scheduler narrows wide allotments to keep every processor busy, holding\n"
+            << "its ratio near 1 while fixed-width strategies drift.\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Command-line front end: solve a malleable instance from a file (or a
+// generated one) with any of the library's algorithms.
+//
+//   ./build/examples/solve_file --emit-sample sample.inst
+//   ./build/examples/solve_file sample.inst
+//   ./build/examples/solve_file --algo 2phase-ffdh --gantt sample.inst
+//   ./build/examples/solve_file --family bimodal --tasks 40 --machines 16
+//
+// The instance format is documented in src/model/instance_io.hpp.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "baselines/naive.hpp"
+#include "baselines/two_phase.hpp"
+#include "baselines/two_shelves_32.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "model/instance_io.hpp"
+#include "model/lower_bounds.hpp"
+#include "sched/gantt.hpp"
+#include "sched/local_search.hpp"
+#include "sched/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace malsched;
+
+int usage() {
+  std::cerr <<
+      "usage: solve_file [options] [instance-file]\n"
+      "  --algo NAME        mrt (default) | 2phase-ffdh | 2phase-list | 3/2 |\n"
+      "                     lpt-seq | gang\n"
+      "  --epsilon X        dual-search precision (default 0.01)\n"
+      "  --local-search     apply the makespan local-search post-pass\n"
+      "  --gantt            render the schedule\n"
+      "  --family NAME      generate instead of reading a file\n"
+      "                     (uniform|bimodal|heavy-tail|stairs|packed-opt1|sequential-only)\n"
+      "  --tasks N --machines M --seed S   generator parameters\n"
+      "  --emit-sample FILE write a small sample instance and exit\n";
+  return 2;
+}
+
+std::optional<WorkloadFamily> family_from_name(const std::string& name) {
+  for (const auto family : all_workload_families()) {
+    if (to_string(family) == name) return family;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = "mrt";
+  std::string family_name;
+  std::string path;
+  std::string emit_path;
+  double epsilon = 0.01;
+  bool gantt = false;
+  bool local_search = false;
+  int tasks = 32;
+  int machines = 16;
+  std::uint64_t seed = 1;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--algo") {
+      algo = next();
+    } else if (arg == "--epsilon") {
+      epsilon = std::stod(next());
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--local-search") {
+      local_search = true;
+    } else if (arg == "--family") {
+      family_name = next();
+    } else if (arg == "--tasks") {
+      tasks = std::stoi(next());
+    } else if (arg == "--machines") {
+      machines = std::stoi(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--emit-sample") {
+      emit_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+
+  if (!emit_path.empty()) {
+    GeneratorOptions options;
+    options.tasks = 8;
+    options.machines = 8;
+    const auto sample = generate_instance(WorkloadFamily::kUniform, options, 7);
+    std::ofstream out(emit_path);
+    write_instance(out, sample);
+    std::cout << "wrote sample instance (" << sample.size() << " tasks, "
+              << sample.machines() << " machines) to " << emit_path << "\n";
+    return 0;
+  }
+
+  std::optional<Instance> instance;
+  if (!family_name.empty()) {
+    const auto family = family_from_name(family_name);
+    if (!family) {
+      std::cerr << "unknown family " << family_name << "\n";
+      return usage();
+    }
+    GeneratorOptions options;
+    options.tasks = tasks;
+    options.machines = machines;
+    instance = generate_instance(*family, options, seed);
+  } else if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    try {
+      instance = read_instance(in);
+    } catch (const std::exception& err) {
+      std::cerr << "parse error: " << err.what() << "\n";
+      return 1;
+    }
+  } else {
+    return usage();
+  }
+
+  const double lb = makespan_lower_bound(*instance);
+  std::optional<Schedule> schedule;
+  if (algo == "mrt") {
+    MrtOptions options;
+    options.search.epsilon = epsilon;
+    auto result = mrt_schedule(*instance, options);
+    std::cout << "certified lower bound " << result.lower_bound << ", gaps " << result.gaps
+              << ", iterations " << result.iterations << "\n";
+    schedule = std::move(result.schedule);
+  } else if (algo == "2phase-ffdh" || algo == "2phase-list") {
+    TwoPhaseOptions options;
+    options.rigid = algo == "2phase-ffdh" ? RigidAlgo::kFfdh : RigidAlgo::kListSchedule;
+    schedule = two_phase_schedule(*instance, options).schedule;
+  } else if (algo == "3/2") {
+    schedule = three_halves_schedule(*instance, epsilon).schedule;
+  } else if (algo == "lpt-seq") {
+    schedule = lpt_sequential_schedule(*instance);
+  } else if (algo == "gang") {
+    schedule = gang_schedule(*instance);
+  } else {
+    std::cerr << "unknown algorithm " << algo << "\n";
+    return usage();
+  }
+
+  if (local_search) {
+    auto improved = improve_schedule(*instance, *schedule);
+    std::cout << "local search: " << (improved.improved ? "improved in " : "no gain after ")
+              << improved.rounds << " rounds\n";
+    schedule = std::move(improved.schedule);
+  }
+
+  const auto report = validate_schedule(*schedule, *instance);
+  if (!report.ok) {
+    std::cerr << "INVALID SCHEDULE:\n" << report.str() << "\n";
+    return 1;
+  }
+  std::cout << "algorithm " << algo << ": makespan " << schedule->makespan()
+            << " (lower bound " << lb << ", ratio " << schedule->makespan() / lb << ")\n";
+  if (gantt) render_gantt(std::cout, *schedule, *instance);
+  return 0;
+}

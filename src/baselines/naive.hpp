@@ -1,0 +1,24 @@
+#pragma once
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// Naive anchors for the benchmark comparisons.
+namespace malsched {
+
+/// Every task sequential (1 processor), LPT order -- ignores malleability
+/// entirely; strong when tasks are many and small, terrible when one task
+/// dominates.
+[[nodiscard]] Schedule lpt_sequential_schedule(const Instance& instance);
+
+/// Gang scheduling: every task runs on all m processors, one after another
+/// -- maximal parallelism, maximal overhead.
+[[nodiscard]] Schedule gang_schedule(const Instance& instance);
+
+/// Per-task sweet spot: each task gets the smallest processor count that
+/// achieves at least half of its maximal speedup, then the set is list
+/// scheduled by decreasing time -- a pragmatic "what a practitioner might
+/// hand-roll" baseline.
+[[nodiscard]] Schedule half_max_speedup_schedule(const Instance& instance);
+
+}  // namespace malsched

@@ -1,0 +1,165 @@
+#include "baselines/two_shelves_32.hpp"
+
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/dual_approx.hpp"
+#include "core/malleable_list.hpp"
+#include "knapsack/knapsack.hpp"
+#include "packing/first_fit.hpp"
+#include "packing/shelf.hpp"
+#include "sched/compaction.hpp"
+#include "sched/validate.hpp"
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+ThreeHalvesOutcome three_halves_dual_step(const Instance& instance, double deadline) {
+  ThreeHalvesOutcome outcome;
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) {
+    outcome.certified_reject = true;
+    return outcome;
+  }
+
+  const int machines = instance.machines();
+  const double half = deadline / 2.0;
+
+  // Small tasks (sequential time <= d/2) are First-Fit stacked on shared
+  // short-shelf processors -- without this, every tiny task would burn a
+  // whole processor per shelf and the structure could not exist for n > m.
+  // gamma_half_i = min processors for t <= d/2; non-small tasks without one
+  // are pinned to the long shelf.
+  std::vector<int> gamma_half(static_cast<std::size_t>(instance.size()), 0);
+  long long pinned_procs = 0;
+  std::vector<int> free_tasks;
+  std::vector<int> small_tasks;
+  for (int i = 0; i < instance.size(); ++i) {
+    if (leq(instance.task(i).time(1), half)) {
+      small_tasks.push_back(i);
+      continue;
+    }
+    const auto procs = instance.task(i).min_procs_for(half);
+    if (procs && *procs <= machines) {
+      gamma_half[static_cast<std::size_t>(i)] = *procs;
+      free_tasks.push_back(i);
+    } else {
+      pinned_procs += canonical.procs[static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<double> small_sizes;
+  small_sizes.reserve(small_tasks.size());
+  for (const int i : small_tasks) small_sizes.push_back(instance.task(i).time(1));
+  const BinPacking small_bins =
+      small_sizes.empty() ? BinPacking{} : first_fit_decreasing(small_sizes, half);
+
+  const long long capacity = machines - pinned_procs;
+  if (capacity < 0) return outcome;  // not certified: the structure just fails
+
+  // Two knapsack objectives for picking the long-shelf set, both under the
+  // long-shelf capacity (weight = gamma_i):
+  //  (a) the successor paper's objective -- maximize the *work saved* by
+  //      keeping tasks at their canonical (cheaper) allotment, and
+  //  (b) a feasibility-driven one -- maximize the short-shelf processors
+  //      relieved (profit = gamma_half_i), which directly attacks the
+  //      short-shelf overflow when (a) fails.
+  const auto attempt = [&](bool work_gain_objective) -> std::optional<Schedule> {
+    std::vector<KnapsackItem> items;
+    items.reserve(free_tasks.size());
+    for (const int i : free_tasks) {
+      const int g1 = canonical.procs[static_cast<std::size_t>(i)];
+      const int g2 = gamma_half[static_cast<std::size_t>(i)];
+      long long profit = 0;
+      if (work_gain_objective) {
+        const double gain = instance.task(i).work(g2) - instance.task(i).work(g1);
+        profit = std::max<long long>(static_cast<long long>(gain / deadline * 4096.0), 0);
+      } else {
+        profit = g2;
+      }
+      items.push_back({g1, profit});
+    }
+    const auto selection = knapsack_exact(items, capacity);
+
+    std::vector<char> on_long(static_cast<std::size_t>(instance.size()), 0);
+    for (const int idx : selection.items) {
+      on_long[static_cast<std::size_t>(free_tasks[static_cast<std::size_t>(idx)])] = 1;
+    }
+
+    ShelfAllocator shelf1(machines);
+    ShelfAllocator shelf2(machines);
+    Schedule schedule(machines, instance.size());
+    std::vector<char> is_small(static_cast<std::size_t>(instance.size()), 0);
+    for (const int i : small_tasks) is_small[static_cast<std::size_t>(i)] = 1;
+    for (int i = 0; i < instance.size(); ++i) {
+      if (is_small[static_cast<std::size_t>(i)]) continue;  // stacked below
+      const bool long_shelf = gamma_half[static_cast<std::size_t>(i)] == 0 ||
+                              on_long[static_cast<std::size_t>(i)];
+      if (long_shelf) {
+        const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+        const auto column = shelf1.allocate(gamma);
+        if (!column) return std::nullopt;
+        schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
+      } else {
+        const int gamma = gamma_half[static_cast<std::size_t>(i)];
+        const auto column = shelf2.allocate(gamma);
+        if (!column) return std::nullopt;  // short shelf overflow
+        schedule.assign(i, deadline, instance.task(i).time(gamma), *column, gamma);
+      }
+    }
+    for (int b = 0; b < small_bins.bin_count(); ++b) {
+      const auto column = shelf2.allocate(1);
+      if (!column) return std::nullopt;
+      double offset = 0.0;
+      for (const int item : small_bins.bins[static_cast<std::size_t>(b)]) {
+        const int task = small_tasks[static_cast<std::size_t>(item)];
+        const double time = instance.task(task).time(1);
+        schedule.assign(task, deadline + offset, time, *column, 1);
+        offset += time;
+      }
+    }
+
+    auto compacted = compact_schedule(schedule, instance);
+    ValidationOptions validation;
+    validation.makespan_bound = 1.5 * deadline;
+    if (!validate_schedule(compacted, instance, validation).ok) return std::nullopt;
+    return compacted;
+  };
+
+  for (const bool work_gain : {true, false}) {
+    if (auto schedule = attempt(work_gain)) {
+      outcome.schedule = std::move(schedule);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+ThreeHalvesResult three_halves_schedule(const Instance& instance, double epsilon) {
+  const DualStep step = [&](double guess) {
+    DualStepResult result;
+    auto outcome = three_halves_dual_step(instance, guess);
+    if (outcome.schedule) {
+      result.schedule = std::move(outcome.schedule);
+      return result;
+    }
+    result.certified_reject = outcome.certified_reject;
+    // Fallback keeps the search terminating: the malleable list step accepts
+    // every sufficiently large guess.
+    if (auto fallback = malleable_list_schedule(instance, guess)) {
+      ValidationOptions validation;
+      validation.makespan_bound = kSqrt3 * guess;
+      auto compacted = compact_schedule(*fallback, instance);
+      if (validate_schedule(compacted, instance, validation).ok) {
+        result.schedule = std::move(compacted);
+      }
+    }
+    return result;
+  };
+  DualSearchOptions options;
+  options.epsilon = epsilon;
+  auto search = dual_search(instance, step, options);
+  return ThreeHalvesResult{std::move(search.schedule), search.makespan,
+                           search.certified_lower_bound, search.ratio};
+}
+
+}  // namespace malsched

@@ -1,0 +1,74 @@
+#include "core/canonical.hpp"
+
+#include <algorithm>
+
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+CanonicalAllotment canonical_allotment(const Instance& instance, double deadline) {
+  CanonicalAllotment result;
+  result.deadline = deadline;
+  result.feasible = true;
+  result.procs.reserve(static_cast<std::size_t>(instance.size()));
+  for (const auto& task : instance.tasks()) {
+    const auto gamma = task.min_procs_for(deadline);
+    if (!gamma || *gamma > instance.machines()) {
+      result.feasible = false;
+      result.procs.clear();
+      result.total_work = 0.0;
+      result.total_procs = 0;
+      return result;
+    }
+    result.procs.push_back(*gamma);
+    result.total_work += task.work(*gamma);
+    result.total_procs += *gamma;
+  }
+  return result;
+}
+
+bool certified_infeasible(const Instance& instance, const CanonicalAllotment& allotment) {
+  if (!allotment.feasible) return true;
+  const double budget = static_cast<double>(instance.machines()) * allotment.deadline;
+  return !leq(allotment.total_work, budget);
+}
+
+bool property1_holds(const MalleableTask& task, int gamma, double deadline) {
+  if (gamma < 2) return true;
+  const double bound =
+      static_cast<double>(gamma - 1) / static_cast<double>(gamma) * deadline;
+  return task.time(gamma) > bound - kAbsEps;
+}
+
+double canonical_area(const Instance& instance, const CanonicalAllotment& allotment) {
+  if (!allotment.feasible) return 0.0;
+  const int machines = instance.machines();
+
+  std::vector<int> order(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.task(a).time(allotment.procs[static_cast<std::size_t>(a)]) >
+           instance.task(b).time(allotment.procs[static_cast<std::size_t>(b)]);
+  });
+
+  double area = 0.0;
+  long long procs_used = 0;
+  for (const int i : order) {
+    const int gamma = allotment.procs[static_cast<std::size_t>(i)];
+    const double time = instance.task(i).time(gamma);
+    if (procs_used + gamma >= machines) {
+      // Task k of Definition 1: only the slice up to processor m counts.
+      area += static_cast<double>(machines - procs_used) * time;
+      return area;
+    }
+    area += static_cast<double>(gamma) * time;
+    procs_used += gamma;
+  }
+  return area;  // stacking never filled the first m processors
+}
+
+double area_threshold(const Instance& instance, double deadline) {
+  return kMu * static_cast<double>(instance.machines()) * deadline;
+}
+
+}  // namespace malsched

@@ -1,0 +1,130 @@
+#include "core/canonical_list.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/sliding.hpp"
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+int kstar(double mu) {
+  if (!(mu > 0.5) || !(mu < 1.0)) {
+    throw std::invalid_argument("kstar: mu must lie in (1/2, 1)");
+  }
+  // Largest k with k/(k+1) strictly below mu; walk down from a safe upper
+  // bound so borderline ratios (e.g. mu = 0.8, k = 4) are not admitted
+  // through floating-point noise in mu/(1-mu).
+  auto k = static_cast<int>(mu / (1.0 - mu)) + 1;
+  while (k > 1 &&
+         !(static_cast<double>(k) / static_cast<double>(k + 1) < mu - 1e-12)) {
+    --k;
+  }
+  return k;
+}
+
+int reallocation_width(double mu) { return (kstar(mu) + 2) / 2; }
+
+namespace {
+
+/// Leftmost window of `width` processors that are all still idle at time 0,
+/// or -1 when none exists.
+int find_idle_window(const std::vector<double>& avail, int width) {
+  int run = 0;
+  for (int j = 0; j < static_cast<int>(avail.size()); ++j) {
+    run = avail[static_cast<std::size_t>(j)] == 0.0 ? run + 1 : 0;
+    if (run >= width) return j - width + 1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+CanonicalListOutcome canonical_list_schedule(const Instance& instance, double deadline,
+                                             const CanonicalListOptions& options) {
+  CanonicalListOutcome outcome;
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) return outcome;
+
+  outcome.canonical_area = canonical_area(instance, canonical);
+  outcome.area_condition =
+      leq(outcome.canonical_area, options.mu * static_cast<double>(instance.machines()) *
+                                      deadline);
+
+  const auto& allotment = canonical.procs;
+  const auto order = order_by_decreasing_alloted_time(instance, allotment);
+
+  if (!options.use_reallocation) {
+    outcome.schedule = list_schedule(instance, allotment, order);
+    return outcome;
+  }
+
+  // List scheduling with the appendix's one-shot reallocation: the first
+  // task forced off the first level may instead be squeezed, narrower, onto
+  // processors still idle at time 0.
+  const int machines = instance.machines();
+  const int khat = reallocation_width(options.mu);
+  Schedule schedule(machines, instance.size());
+  std::vector<double> avail(static_cast<std::size_t>(machines), 0.0);
+  bool reallocation_considered = false;
+
+  for (const int task : order) {
+    const int procs = allotment[static_cast<std::size_t>(task)];
+    const double duration = instance.task(task).time(procs);
+
+    const auto ready = sliding_window_max(avail, procs);
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const double r : ready) earliest = std::min(earliest, r);
+    const bool starts_at_zero = approx_eq(earliest, 0.0);
+
+    if (!starts_at_zero && !reallocation_considered) {
+      reallocation_considered = true;  // the rule applies only to the first such task
+      const int width = std::min(procs, khat);
+      const int idle =
+          static_cast<int>(std::count(avail.begin(), avail.end(), 0.0));
+      const int column = find_idle_window(avail, width);
+      if (idle >= khat && column >= 0) {
+        // Work monotonicity bounds the squeezed time by (procs/width)*t(procs)
+        // <= 2*t(procs) since width >= ceil(procs/2) whenever procs <= k*+1.
+        const double squeezed = instance.task(task).time(width);
+        schedule.assign(task, 0.0, squeezed, column, width);
+        for (int j = column; j < column + width; ++j) {
+          avail[static_cast<std::size_t>(j)] = squeezed;
+        }
+        outcome.reallocated = true;
+        continue;
+      }
+    }
+
+    // Paper tie rule: leftmost window when starting at 0, rightmost after.
+    int column = -1;
+    if (starts_at_zero) {
+      for (std::size_t s = 0; s < ready.size(); ++s) {
+        if (approx_eq(ready[s], earliest)) {
+          column = static_cast<int>(s);
+          break;
+        }
+      }
+    } else {
+      for (std::size_t s = ready.size(); s-- > 0;) {
+        if (approx_eq(ready[s], earliest)) {
+          column = static_cast<int>(s);
+          break;
+        }
+      }
+    }
+    schedule.assign(task, earliest, duration, column, procs);
+    for (int j = column; j < column + procs; ++j) {
+      avail[static_cast<std::size_t>(j)] = earliest + duration;
+    }
+  }
+
+  outcome.schedule = std::move(schedule);
+  return outcome;
+}
+
+}  // namespace malsched

@@ -1,0 +1,30 @@
+#include "core/inefficiency.hpp"
+
+#include <stdexcept>
+
+namespace malsched {
+
+double inefficiency_factor(const MalleableTask& task, int procs, int gamma) {
+  if (gamma < 1 || procs < gamma) {
+    throw std::invalid_argument("inefficiency_factor: need 1 <= gamma <= procs");
+  }
+  return task.work(procs) / task.work(gamma);
+}
+
+double set_inefficiency(const Instance& instance, std::span<const int> tasks,
+                        std::span<const int> procs, std::span<const int> gamma) {
+  if (tasks.size() != procs.size() || tasks.size() != gamma.size()) {
+    throw std::invalid_argument("set_inefficiency: array sizes differ");
+  }
+  double area = 0.0;
+  double canonical = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = instance.task(tasks[i]);
+    area += task.work(procs[i]);
+    canonical += task.work(gamma[i]);
+  }
+  if (canonical <= 0.0) return 1.0;
+  return area / canonical;
+}
+
+}  // namespace malsched

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "model/instance.hpp"
+
+/// The inefficiency factor of Section 4.2.
+///
+/// For a task allotted p processors the inefficiency factor is the expansion
+/// of its area relative to the canonical one: w(p) / w(gamma). The paper
+/// bounds the factor of the optimal schedule's "splashed" tasks to prove
+/// that a knapsack solution lands in the feasible set (Lemmas 2-4); here it
+/// is exposed for diagnostics and the tests that check its basic algebra.
+namespace malsched {
+
+/// w_task(procs) / w_task(gamma); requires 1 <= gamma <= procs <= m.
+/// Always >= 1 under monotonicity.
+[[nodiscard]] double inefficiency_factor(const MalleableTask& task, int procs, int gamma);
+
+/// Aggregate factor of a set: sum of areas over sum of canonical areas.
+/// `tasks`, `procs` and `gamma` are parallel arrays.
+[[nodiscard]] double set_inefficiency(const Instance& instance, std::span<const int> tasks,
+                                      std::span<const int> procs, std::span<const int> gamma);
+
+}  // namespace malsched

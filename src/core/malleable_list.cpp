@@ -1,0 +1,33 @@
+#include "core/malleable_list.hpp"
+
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace malsched {
+
+double malleable_list_guarantee(int machines) {
+  return 2.0 - 2.0 / (static_cast<double>(machines) + 1.0);
+}
+
+std::optional<Schedule> malleable_list_schedule(const Instance& instance, double deadline) {
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) return std::nullopt;
+
+  // Allot against the *relaxed* threshold g*d; since g >= 1 this never asks
+  // for more processors than gamma_i(d), so Property 2 still bounds the area.
+  const double threshold = malleable_list_guarantee(instance.machines()) * deadline;
+  std::vector<int> allotment(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) {
+    const auto procs = instance.task(i).min_procs_for(threshold);
+    // Feasibility was certified above and threshold >= deadline, so a
+    // processor count always exists.
+    allotment[static_cast<std::size_t>(i)] = *procs;
+  }
+
+  const auto order = order_by_decreasing_seq_time(instance);
+  return list_schedule(instance, allotment, order);
+}
+
+}  // namespace malsched

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// The Malleable List Algorithm of Section 3.1 (Theorem 1).
+///
+/// A (2 - 2/(m+1)) dual approximation: assuming a schedule of length d
+/// exists,
+///   * Allotment: each task gets the minimal number of processors p_i whose
+///     execution time is at most g*d with g = 2 - 2/(m+1);
+///   * Scheduling: list-schedule by non-increasing *sequential* time.
+///
+/// Theorem 1's argument (reconstructed from the scan): a task allotted >= 2
+/// processors has, by Property 1 w.r.t. the threshold g*d, an execution time
+/// exceeding g*d/2 = (m/(m+1))*d. Property 2 bounds the total allotted work
+/// by m*d (p_i <= gamma_i(d) since g >= 1), so the parallel tasks need fewer
+/// than m+1 processors in total -- they all start at time 0, and their
+/// sequential times exceed g*d, so the decreasing-sequential-time order
+/// places them first. The remaining tasks are sequential and the list rule
+/// degenerates to LPT, which finishes them by g*d.
+///
+/// Since g <= sqrt(3) iff m <= 6, this branch certifies the sqrt(3) bound on
+/// small machines, complementing the canonical-list regime (m >= m_mu).
+namespace malsched {
+
+/// Worst-case dual guarantee of the algorithm: 2 - 2/(m+1).
+[[nodiscard]] double malleable_list_guarantee(int machines);
+
+/// Runs the algorithm for guess `deadline`. Returns std::nullopt only with a
+/// Property-2 certificate that no schedule of length `deadline` exists
+/// (missing canonical allotment or canonical work above m*d); otherwise the
+/// returned schedule is feasible and -- per Theorem 1 -- no longer than
+/// malleable_list_guarantee(m) * deadline (the caller re-validates).
+[[nodiscard]] std::optional<Schedule> malleable_list_schedule(const Instance& instance,
+                                                              double deadline);
+
+}  // namespace malsched

@@ -1,0 +1,65 @@
+#include "core/mmu.hpp"
+
+#include <algorithm>
+
+#include "core/canonical.hpp"
+#include "core/canonical_list.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+
+namespace malsched {
+
+MmuPoint estimate_mmu(double mu, const InstanceFactory& factory,
+                      const MmuEstimateOptions& options) {
+  MmuPoint point;
+  point.mu = mu;
+  point.kstar = kstar(mu);
+  point.reallocation_width = reallocation_width(mu);
+
+  CanonicalListOptions list_options;
+  list_options.mu = mu;
+  list_options.use_reallocation = options.use_reallocation;
+
+  Rng seeds(options.seed);
+  int last_violation_m = 1;
+  std::vector<double> worst_ratio(static_cast<std::size_t>(options.scan_limit) + 1, 0.0);
+
+  for (int machines = 2; machines <= options.scan_limit; ++machines) {
+    for (int trial = 0; trial < options.trials_per_m; ++trial) {
+      const Instance instance = factory(machines, seeds.fork_seed());
+
+      // Theorem 2's hypothesis: the instance admits a schedule of length 1
+      // (guaranteed by the factory) *and* the canonical area is small.
+      const auto canonical = canonical_allotment(instance, 1.0);
+      if (!canonical.feasible) continue;
+      const double area = canonical_area(instance, canonical);
+      if (!leq(area, mu * static_cast<double>(machines))) continue;
+
+      const auto outcome = canonical_list_schedule(instance, 1.0, list_options);
+      if (!outcome.schedule) continue;
+      const double ratio = outcome.schedule->makespan() / (2.0 * mu);
+      worst_ratio[static_cast<std::size_t>(machines)] =
+          std::max(worst_ratio[static_cast<std::size_t>(machines)], ratio);
+      if (!leq(outcome.schedule->makespan(), 2.0 * mu)) {
+        last_violation_m = machines;
+      }
+    }
+  }
+
+  point.empirical_m = std::min(last_violation_m + 1, options.scan_limit + 1);
+  point.empirical_m = std::max(point.empirical_m, 2);
+  if (point.empirical_m <= options.scan_limit) {
+    point.worst_ratio_at_m = worst_ratio[static_cast<std::size_t>(point.empirical_m)];
+  }
+  return point;
+}
+
+std::vector<MmuPoint> mmu_curve(const std::vector<double>& mus, const InstanceFactory& factory,
+                                const MmuEstimateOptions& options) {
+  std::vector<MmuPoint> curve;
+  curve.reserve(mus.size());
+  for (const double mu : mus) curve.push_back(estimate_mmu(mu, factory, options));
+  return curve;
+}
+
+}  // namespace malsched

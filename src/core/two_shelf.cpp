@@ -1,0 +1,275 @@
+#include "core/two_shelf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "knapsack/knapsack.hpp"
+#include "packing/first_fit.hpp"
+#include "packing/shelf.hpp"
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+namespace {
+
+/// A task of S1 that may migrate to the second shelf.
+struct MigrantCandidate {
+  int task{0};
+  int gamma{0};         ///< canonical processors for deadline d
+  int gamma_lambda{0};  ///< minimal processors for deadline lambda*d
+};
+
+struct Partition {
+  std::vector<int> s1;  ///< tall tasks, t_i(gamma_i) > lambda*d
+  std::vector<int> s2;  ///< medium tasks, d/2 < t <= lambda*d
+  std::vector<int> s3;  ///< small sequential tasks, t <= d/2
+  long long q1{0};
+  long long q2{0};
+  long long q3{0};
+};
+
+Partition make_partition(const Instance& instance, const CanonicalAllotment& canonical,
+                         double deadline, double lambda) {
+  Partition part;
+  const double lambda_d = lambda * deadline;
+  const double half_d = deadline / 2.0;
+  long long s1_procs = 0;
+  for (int i = 0; i < instance.size(); ++i) {
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    const double time = instance.task(i).time(gamma);
+    if (!leq(time, lambda_d)) {
+      part.s1.push_back(i);
+      s1_procs += gamma;
+    } else if (gamma == 1 && leq(time, half_d)) {
+      // Property 1 makes every t <= d/2 task sequential; the gamma check is
+      // numerical defensiveness only.
+      part.s3.push_back(i);
+    } else {
+      part.s2.push_back(i);
+      part.q2 += gamma;
+    }
+  }
+  part.q1 = s1_procs - instance.machines();
+  if (!part.s3.empty()) {
+    std::vector<double> sizes;
+    sizes.reserve(part.s3.size());
+    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
+    part.q3 = first_fit_bin_count(sizes, lambda_d);
+  }
+  return part;
+}
+
+/// Builds the standard lambda-schedule for migrated set `migrants`
+/// (subset of the candidates): shelf 1 carries S1 minus the migrants,
+/// shelf 2 the migrants + S2 + S3. Returns nullopt if a shelf overflows
+/// (cannot happen when the knapsack feasibility conditions hold; kept as a
+/// defensive check so no invalid schedule ever escapes).
+std::optional<Schedule> build_lambda_schedule(const Instance& instance,
+                                              const CanonicalAllotment& canonical,
+                                              const Partition& part, double deadline,
+                                              double lambda,
+                                              const std::vector<MigrantCandidate>& migrants) {
+  const int machines = instance.machines();
+  const double lambda_d = lambda * deadline;
+  Schedule schedule(machines, instance.size());
+
+  std::vector<char> migrated(static_cast<std::size_t>(instance.size()), 0);
+  for (const auto& candidate : migrants) {
+    migrated[static_cast<std::size_t>(candidate.task)] = 1;
+  }
+
+  ShelfAllocator shelf1(machines);
+  for (const int i : part.s1) {
+    if (migrated[static_cast<std::size_t>(i)]) continue;
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    const auto column = shelf1.allocate(gamma);
+    if (!column) return std::nullopt;
+    schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
+  }
+
+  ShelfAllocator shelf2(machines);
+  for (const auto& candidate : migrants) {
+    const auto column = shelf2.allocate(candidate.gamma_lambda);
+    if (!column) return std::nullopt;
+    schedule.assign(candidate.task, deadline,
+                    instance.task(candidate.task).time(candidate.gamma_lambda), *column,
+                    candidate.gamma_lambda);
+  }
+  for (const int i : part.s2) {
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    const auto column = shelf2.allocate(gamma);
+    if (!column) return std::nullopt;
+    schedule.assign(i, deadline, instance.task(i).time(gamma), *column, gamma);
+  }
+  if (!part.s3.empty()) {
+    std::vector<double> sizes;
+    sizes.reserve(part.s3.size());
+    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
+    const auto packing = first_fit(sizes, lambda_d);
+    for (int b = 0; b < packing.bin_count(); ++b) {
+      const auto column = shelf2.allocate(1);
+      if (!column) return std::nullopt;
+      double offset = 0.0;
+      for (const int item : packing.bins[static_cast<std::size_t>(b)]) {
+        const int task = part.s3[static_cast<std::size_t>(item)];
+        const double time = instance.task(task).time(1);
+        schedule.assign(task, deadline + offset, time, *column, 1);
+        offset += time;
+      }
+    }
+  }
+  return schedule;
+}
+
+/// Builds a *trivial solution* of 4_lambda: `lone` alone on shelf 2; every
+/// other task -- including S2 and the First-Fit-packed S3 -- on shelf 1.
+std::optional<Schedule> build_trivial_schedule(const Instance& instance,
+                                               const CanonicalAllotment& canonical,
+                                               const Partition& part, double deadline,
+                                               double lambda, const MigrantCandidate& lone) {
+  const int machines = instance.machines();
+  const double lambda_d = lambda * deadline;
+  Schedule schedule(machines, instance.size());
+
+  ShelfAllocator shelf1(machines);
+  for (const int i : part.s1) {
+    if (i == lone.task) continue;
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    const auto column = shelf1.allocate(gamma);
+    if (!column) return std::nullopt;
+    schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
+  }
+  for (const int i : part.s2) {
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    const auto column = shelf1.allocate(gamma);
+    if (!column) return std::nullopt;
+    schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
+  }
+  if (!part.s3.empty()) {
+    std::vector<double> sizes;
+    sizes.reserve(part.s3.size());
+    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
+    const auto packing = first_fit(sizes, lambda_d);
+    for (int b = 0; b < packing.bin_count(); ++b) {
+      const auto column = shelf1.allocate(1);
+      if (!column) return std::nullopt;
+      double offset = 0.0;
+      for (const int item : packing.bins[static_cast<std::size_t>(b)]) {
+        const int task = part.s3[static_cast<std::size_t>(item)];
+        const double time = instance.task(task).time(1);
+        schedule.assign(task, offset, time, *column, 1);
+        offset += time;
+      }
+    }
+  }
+
+  ShelfAllocator shelf2(machines);
+  const auto column = shelf2.allocate(lone.gamma_lambda);
+  if (!column) return std::nullopt;
+  schedule.assign(lone.task, deadline, instance.task(lone.task).time(lone.gamma_lambda),
+                  *column, lone.gamma_lambda);
+  return schedule;
+}
+
+}  // namespace
+
+TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
+                                   const TwoShelfOptions& options) {
+  TwoShelfOutcome outcome;
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) {
+    outcome.certified_reject = true;
+    return outcome;
+  }
+
+  const auto part = make_partition(instance, canonical, deadline, options.lambda);
+  outcome.s1_count = static_cast<int>(part.s1.size());
+  outcome.s2_count = static_cast<int>(part.s2.size());
+  outcome.s3_count = static_cast<int>(part.s3.size());
+  outcome.q1 = part.q1;
+  outcome.q2 = part.q2;
+  outcome.q3 = part.q3;
+  const long long capacity = instance.machines() - part.q2 - part.q3;
+  outcome.knapsack_capacity = capacity;
+
+  // Knapsack candidates: S1 tasks that *can* meet the lambda*d deadline.
+  const double lambda_d = options.lambda * deadline;
+  std::vector<MigrantCandidate> candidates;
+  std::vector<KnapsackItem> items;
+  for (const int i : part.s1) {
+    const auto gl = instance.task(i).min_procs_for(lambda_d);
+    if (!gl || *gl > instance.machines()) continue;
+    const int gamma = canonical.procs[static_cast<std::size_t>(i)];
+    candidates.push_back({i, gamma, *gl});
+    items.push_back({*gl, gamma});
+  }
+
+  const auto select_to_schedule = [&](const KnapsackSelection& selection) {
+    std::vector<MigrantCandidate> migrants;
+    migrants.reserve(selection.items.size());
+    for (const int idx : selection.items) {
+      migrants.push_back(candidates[static_cast<std::size_t>(idx)]);
+    }
+    return build_lambda_schedule(instance, canonical, part, deadline, options.lambda, migrants);
+  };
+
+  if (capacity >= 0) {
+    // Fast path shared by both modes: a single candidate already covering q1
+    // (the paper folds these into the trivial set 4_lambda).
+    for (std::size_t idx = 0; idx < items.size(); ++idx) {
+      if (items[idx].profit >= part.q1 && items[idx].weight <= capacity) {
+        KnapsackSelection single;
+        single.items = {static_cast<int>(idx)};
+        single.weight = items[idx].weight;
+        single.profit = items[idx].profit;
+        if (auto schedule = select_to_schedule(single)) {
+          outcome.knapsack_profit = single.profit;
+          outcome.schedule = std::move(schedule);
+          return outcome;
+        }
+      }
+    }
+
+    KnapsackSelection selection;
+    if (options.knapsack == KnapsackMode::kExact) {
+      selection = knapsack_exact(items, capacity);
+    } else {
+      selection = knapsack_fptas(items, capacity, options.fptas_eps);
+      if (selection.profit < part.q1 && part.q1 > 0) {
+        // Lemma 2's dual route: approximate (P') and accept when its weight
+        // still fits the second shelf.
+        if (const auto dual = min_knapsack_approx(items, part.q1, options.fptas_eps);
+            dual && dual->weight <= capacity) {
+          selection = *dual;
+          outcome.used_dual_knapsack = true;
+        }
+      }
+    }
+    outcome.knapsack_profit = selection.profit;
+    if (selection.profit >= part.q1) {
+      if (auto schedule = select_to_schedule(selection)) {
+        outcome.schedule = std::move(schedule);
+        return outcome;
+      }
+    }
+  }
+
+  if (options.try_trivial) {
+    // Section 4.5: one huge task alone on the short shelf, everything else
+    // (S1 remainder, S2, S3) packed on the long shelf.
+    for (const auto& candidate : candidates) {
+      if (candidate.gamma >= part.q1 + part.q2 + part.q3) {
+        if (auto schedule = build_trivial_schedule(instance, canonical, part, deadline,
+                                                   options.lambda, candidate)) {
+          outcome.used_trivial = true;
+          outcome.schedule = std::move(schedule);
+          return outcome;
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace malsched

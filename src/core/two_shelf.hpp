@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// The knapsack-based two-shelf construction of Section 4.
+///
+/// For a guess d (assume OPT <= d) and lambda = sqrt(3) - 1, the instance is
+/// partitioned by canonical execution time t_i(gamma_i(d)):
+///
+///   S1 = { i : t_i(gamma_i) >  lambda*d }   "tall" tasks
+///   S2 = { i : d/2 < t_i(gamma_i) <= lambda*d }
+///   S3 = { i : t_i(gamma_i) <= d/2 }         sequential by Property 1
+///
+/// with q1 = sum_{S1} gamma_i - m (first-shelf processor overflow),
+/// q2 = sum_{S2} gamma_i, and q3 = FF(S3, lambda*d) (processors First Fit
+/// needs for the small tasks under deadline lambda*d).
+///
+/// A *lambda-schedule* consists of two shelves: shelf 1 (window [0, d])
+/// carries S1 \ S at canonical allotment; shelf 2 (window [d, d + lambda*d])
+/// carries the migrated set S (allotted gamma^lambda_i = min procs for time
+/// <= lambda*d), all of S2 (canonical allotment), and S3 packed by First
+/// Fit. The subset S is feasible iff
+///
+///   sum_{S} gamma_i        >= q1             (shelf 1 fits in m), and
+///   sum_{S} gamma^lambda_i <= m - q2 - q3    (shelf 2 fits in m),
+///
+/// which is exactly the knapsack problem (P): maximize sum gamma_i subject
+/// to sum gamma^lambda_i <= m - q2 - q3. The paper proves (Lemma 2-4) that
+/// whenever OPT <= d and the canonical area W exceeds mu*m*d, either the
+/// knapsack (exactly, or via its FPTAS together with the dual (P')) or a
+/// linear-time "trivial solution" (one huge task alone on shelf 2) yields a
+/// feasible lambda-schedule -- total length (1 + lambda)*d = sqrt(3)*d.
+namespace malsched {
+
+/// Knapsack backend for the allotment selection.
+enum class KnapsackMode {
+  kExact,  ///< pseudo-polynomial DP, O(|S1| * m) -- exact (Section 4.3)
+  kFptas,  ///< approximation scheme on (P) with fallback to (P') (Section 4.4)
+};
+
+struct TwoShelfOptions {
+  /// Second-shelf length as a fraction of d; the paper's lambda = sqrt(3)-1.
+  double lambda{0.7320508075688772};
+  KnapsackMode knapsack{KnapsackMode::kExact};
+  /// Epsilon for the FPTAS backend (ignored in exact mode).
+  double fptas_eps{0.05};
+  /// Also scan for the paper's trivial solutions (Section 4.5).
+  bool try_trivial{true};
+};
+
+/// Diagnostics of a two-shelf attempt (consumed by bench_regimes).
+struct TwoShelfOutcome {
+  /// The lambda-schedule, length <= (1+lambda)*d; std::nullopt when no
+  /// feasible subset was found (or infeasibility was certified).
+  std::optional<Schedule> schedule;
+
+  bool certified_reject{false};  ///< Property-2 certificate fired
+  bool used_trivial{false};      ///< solved by a trivial solution of 4_lambda
+  bool used_dual_knapsack{false};///< (P') provided the subset (FPTAS mode)
+
+  // Partition snapshot.
+  int s1_count{0};
+  int s2_count{0};
+  int s3_count{0};
+  long long q1{0};
+  long long q2{0};
+  long long q3{0};
+  long long knapsack_capacity{0};  ///< m - q2 - q3
+  long long knapsack_profit{0};    ///< achieved sum of gamma_i over S
+};
+
+/// Attempts to build a lambda-schedule for guess `deadline`.
+[[nodiscard]] TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
+                                                 const TwoShelfOptions& options = {});
+
+}  // namespace malsched

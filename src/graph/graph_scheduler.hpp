@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+/// Schedulers for malleable tasks under precedence constraints (the paper's
+/// Section 5 future work, implemented here as an extension).
+///
+/// Two strategies are provided:
+///
+///  * **Layered** -- partition the DAG by precedence depth; each layer is a
+///    set of *independent* malleable tasks and is solved by the paper's
+///    sqrt(3) scheduler; layers run back to back. Per layer the guarantee is
+///    sqrt(3)(1+eps) against that layer's optimal, so the whole schedule is
+///    within sqrt(3)(1+eps) of the best layered schedule (and is measured
+///    honestly against the DAG lower bound).
+///
+///  * **Ready-list** -- event-driven greedy: whenever processors free up,
+///    start ready tasks, allotting each the smallest processor count that
+///    achieves half its maximal speedup (a robust moldable heuristic).
+///    Serves as the baseline the layered scheduler is compared against.
+namespace malsched {
+
+/// Checks precedence feasibility on top of the machine-level validator:
+/// every edge (u, v) must satisfy end(u) <= start(v).
+[[nodiscard]] bool respects_precedence(const Schedule& schedule, const TaskGraph& graph);
+
+struct GraphScheduleResult {
+  Schedule schedule;
+  double makespan;
+  double lower_bound;  ///< DAG-aware bound: max(area, weighted critical path)
+  double ratio;
+};
+
+/// Layered scheduling via the sqrt(3) algorithm per precedence level.
+[[nodiscard]] GraphScheduleResult layered_graph_schedule(const TaskGraph& graph,
+                                                         double epsilon = 0.02);
+
+/// Event-driven ready-list baseline.
+[[nodiscard]] GraphScheduleResult ready_list_graph_schedule(const TaskGraph& graph);
+
+}  // namespace malsched

@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace malsched {
+
+namespace detail {
+void validate_items(std::span<const KnapsackItem> items);
+}
+
+namespace {
+
+struct SearchState {
+  std::span<const KnapsackItem> items;  ///< sorted by profit density
+  long long capacity;
+  long long node_budget;
+  long long nodes{0};
+  std::vector<char> chosen;
+  std::vector<char> best_chosen;
+  long long best_profit{0};
+};
+
+/// Dantzig bound: take remaining items greedily, last one fractionally.
+double fractional_bound(const SearchState& state, std::size_t index, long long weight,
+                        long long profit) {
+  double bound = static_cast<double>(profit);
+  long long room = state.capacity - weight;
+  for (std::size_t i = index; i < state.items.size() && room > 0; ++i) {
+    const auto& item = state.items[i];
+    if (item.weight <= room) {
+      bound += static_cast<double>(item.profit);
+      room -= item.weight;
+    } else {
+      bound += static_cast<double>(item.profit) * static_cast<double>(room) /
+               static_cast<double>(item.weight);
+      room = 0;
+    }
+  }
+  return bound;
+}
+
+void search(SearchState& state, std::size_t index, long long weight, long long profit) {
+  if (++state.nodes > state.node_budget) {
+    throw std::runtime_error("knapsack_branch_and_bound: node budget exceeded");
+  }
+  if (profit > state.best_profit) {
+    state.best_profit = profit;
+    state.best_chosen = state.chosen;
+  }
+  if (index == state.items.size()) return;
+  if (fractional_bound(state, index, weight, profit) <=
+      static_cast<double>(state.best_profit)) {
+    return;  // cannot beat the incumbent
+  }
+  const auto& item = state.items[index];
+  if (weight + item.weight <= state.capacity) {
+    state.chosen[index] = 1;
+    search(state, index + 1, weight + item.weight, profit + item.profit);
+    state.chosen[index] = 0;
+  }
+  search(state, index + 1, weight, profit);
+}
+
+}  // namespace
+
+KnapsackSelection knapsack_branch_and_bound(std::span<const KnapsackItem> items,
+                                            long long capacity, long long node_budget) {
+  detail::validate_items(items);
+  KnapsackSelection result;
+  if (capacity < 0 || items.empty()) return result;
+
+  // Zero-weight items are free profit: select them outright. (They would
+  // also break the Dantzig bound, which fills by density and stops when the
+  // capacity is exhausted -- a later zero-weight item must never be cut.)
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight == 0 && items[i].profit > 0) {
+      result.items.push_back(static_cast<int>(i));
+      result.profit += items[i].profit;
+    }
+  }
+
+  // Sort the weighted items by non-increasing profit density so the
+  // fractional bound is tight and good incumbents appear early.
+  std::vector<int> order;
+  order.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight > 0) order.push_back(static_cast<int>(i));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ia = items[static_cast<std::size_t>(a)];
+    const auto& ib = items[static_cast<std::size_t>(b)];
+    return ia.profit * ib.weight > ib.profit * ia.weight;
+  });
+  std::vector<KnapsackItem> sorted(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted[i] = items[static_cast<std::size_t>(order[i])];
+  }
+
+  SearchState state{sorted, capacity, node_budget, 0,
+                    std::vector<char>(order.size(), 0),
+                    std::vector<char>(order.size(), 0), 0};
+  search(state, 0, 0, 0);
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (state.best_chosen[i]) {
+      const int original = order[i];
+      result.items.push_back(original);
+      result.weight += items[static_cast<std::size_t>(original)].weight;
+      result.profit += items[static_cast<std::size_t>(original)].profit;
+    }
+  }
+  std::sort(result.items.begin(), result.items.end());
+  return result;
+}
+
+}  // namespace malsched

@@ -1,0 +1,65 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace malsched {
+
+namespace detail {
+
+void validate_items(std::span<const KnapsackItem> items) {
+  for (const auto& item : items) {
+    if (item.weight < 0 || item.profit < 0) {
+      throw std::invalid_argument("knapsack: weights and profits must be non-negative");
+    }
+  }
+}
+
+// Memory guard for DP choice tables (bytes).
+inline constexpr std::size_t kDpCellGuard = std::size_t{1} << 29;  // 512 MB
+
+}  // namespace detail
+
+KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long capacity) {
+  detail::validate_items(items);
+  KnapsackSelection result;
+  if (capacity < 0 || items.empty()) return result;
+
+  const auto n = items.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+  if (n * (cap + 1) > detail::kDpCellGuard) {
+    throw std::length_error("knapsack_exact: DP table exceeds memory guard; use knapsack_fptas");
+  }
+
+  // best[c] = max profit using a prefix of items within capacity c;
+  // take[i][c] records whether item i was used at residual capacity c.
+  std::vector<long long> best(cap + 1, 0);
+  std::vector<std::vector<char>> take(n, std::vector<char>(cap + 1, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::size_t>(items[i].weight);
+    const long long p = items[i].profit;
+    if (w > cap) continue;
+    for (std::size_t c = cap + 1; c-- > w;) {
+      const long long candidate = best[c - w] + p;
+      if (candidate > best[c]) {
+        best[c] = candidate;
+        take[i][c] = 1;
+      }
+    }
+  }
+
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      result.items.push_back(static_cast<int>(i));
+      result.weight += items[i].weight;
+      result.profit += items[i].profit;
+      c -= static_cast<std::size_t>(items[i].weight);
+    }
+  }
+  std::reverse(result.items.begin(), result.items.end());
+  return result;
+}
+
+}  // namespace malsched

@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace malsched {
+
+namespace detail {
+void validate_items(std::span<const KnapsackItem> items);
+}
+
+KnapsackSelection knapsack_fptas(std::span<const KnapsackItem> items, long long capacity,
+                                 double eps) {
+  detail::validate_items(items);
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("knapsack_fptas: eps must lie in (0, 1)");
+  }
+  KnapsackSelection result;
+  if (capacity < 0 || items.empty()) return result;
+
+  long long max_profit = 0;
+  for (const auto& item : items) {
+    if (item.weight <= capacity) max_profit = std::max(max_profit, item.profit);
+  }
+  if (max_profit == 0) return result;  // nothing valuable fits
+
+  // Classical profit scaling: rounding profits down by K keeps the optimal
+  // set's scaled profit within n of optimal, i.e. a (1 - eps) factor.
+  const auto n = items.size();
+  const double k_scale =
+      std::max(1.0, eps * static_cast<double>(max_profit) / static_cast<double>(n));
+
+  std::vector<long long> scaled(n, 0);
+  long long scaled_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = static_cast<long long>(std::floor(static_cast<double>(items[i].profit) / k_scale));
+    scaled_total += scaled[i];
+  }
+
+  // min_weight[q] = least weight achieving scaled profit exactly q.
+  constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+  const auto q_max = static_cast<std::size_t>(scaled_total);
+  std::vector<long long> min_weight(q_max + 1, kInf);
+  min_weight[0] = 0;
+  std::vector<std::vector<char>> take(n, std::vector<char>(q_max + 1, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto q_i = static_cast<std::size_t>(scaled[i]);
+    const long long w = items[i].weight;
+    if (w > capacity) continue;
+    for (std::size_t q = q_max + 1; q-- > q_i;) {
+      if (min_weight[q - q_i] >= kInf) continue;
+      const long long candidate = min_weight[q - q_i] + w;
+      if (candidate < min_weight[q]) {
+        min_weight[q] = candidate;
+        take[i][q] = 1;
+      }
+    }
+  }
+
+  std::size_t best_q = 0;
+  for (std::size_t q = 0; q <= q_max; ++q) {
+    if (min_weight[q] <= capacity) best_q = q;
+  }
+
+  std::size_t q = best_q;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][q]) {
+      result.items.push_back(static_cast<int>(i));
+      result.weight += items[i].weight;
+      result.profit += items[i].profit;
+      q -= static_cast<std::size_t>(scaled[i]);
+    }
+  }
+  std::reverse(result.items.begin(), result.items.end());
+  return result;
+}
+
+}  // namespace malsched

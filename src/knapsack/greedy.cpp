@@ -1,0 +1,83 @@
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace malsched {
+
+namespace detail {
+void validate_items(std::span<const KnapsackItem> items);
+}
+
+KnapsackSelection knapsack_greedy(std::span<const KnapsackItem> items, long long capacity) {
+  detail::validate_items(items);
+  KnapsackSelection greedy;
+  if (capacity < 0 || items.empty()) return greedy;
+
+  std::vector<int> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Dantzig order: non-increasing profit density, zero-weight items first.
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ia = items[static_cast<std::size_t>(a)];
+    const auto& ib = items[static_cast<std::size_t>(b)];
+    // Compare p_a/w_a > p_b/w_b without division: cross-multiply.
+    return ia.profit * std::max<long long>(ib.weight, 1) >
+           ib.profit * std::max<long long>(ia.weight, 1);
+  });
+
+  for (const int idx : order) {
+    const auto& item = items[static_cast<std::size_t>(idx)];
+    if (greedy.weight + item.weight <= capacity) {
+      greedy.items.push_back(idx);
+      greedy.weight += item.weight;
+      greedy.profit += item.profit;
+    }
+  }
+  std::sort(greedy.items.begin(), greedy.items.end());
+
+  // Classical fix-up: greedy alone is unbounded, greedy vs best single item
+  // is a 1/2-approximation.
+  KnapsackSelection best_single;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= capacity && items[i].profit > best_single.profit) {
+      best_single.items = {static_cast<int>(i)};
+      best_single.weight = items[i].weight;
+      best_single.profit = items[i].profit;
+    }
+  }
+  return best_single.profit > greedy.profit ? best_single : greedy;
+}
+
+KnapsackSelection knapsack_brute_force(std::span<const KnapsackItem> items, long long capacity) {
+  detail::validate_items(items);
+  if (items.size() > 24) {
+    throw std::invalid_argument("knapsack_brute_force: limited to 24 items");
+  }
+  KnapsackSelection best;
+  if (capacity < 0) return best;
+  const auto n = items.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    long long weight = 0;
+    long long profit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) {
+        weight += items[i].weight;
+        profit += items[i].profit;
+      }
+    }
+    if (weight <= capacity && profit > best.profit) {
+      best.items.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::uint64_t{1} << i)) best.items.push_back(static_cast<int>(i));
+      }
+      best.weight = weight;
+      best.profit = profit;
+    }
+  }
+  return best;
+}
+
+}  // namespace malsched

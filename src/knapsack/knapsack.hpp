@@ -1,0 +1,78 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+/// Knapsack solvers backing the paper's allotment selection (Section 4).
+///
+/// The two-shelf construction chooses which tasks of S1 migrate to the
+/// second shelf by solving
+///
+///   (P)  maximize sum of profits  s.t.  sum of weights <= capacity
+///
+/// where profit_i = canonical processors gamma_i and weight_i = processors
+/// needed to finish within the short shelf. The paper also uses the dual
+///
+///   (P') minimize sum of weights  s.t.  sum of profits >= demand
+///
+/// so that a (1+eps)-approximation of either problem still yields a feasible
+/// shelf assignment (Lemma 2). Both weights and profits are processor counts,
+/// hence non-negative integers; solvers below exploit that.
+namespace malsched {
+
+struct KnapsackItem {
+  long long weight{0};  ///< must be >= 0
+  long long profit{0};  ///< must be >= 0
+};
+
+/// A chosen subset with its totals. `items` holds indices into the input span
+/// in increasing order.
+struct KnapsackSelection {
+  std::vector<int> items;
+  long long weight{0};
+  long long profit{0};
+};
+
+/// Exact pseudo-polynomial DP, O(n * capacity) time and memory [13].
+/// Throws std::invalid_argument on negative inputs and std::length_error when
+/// the DP table would exceed an internal memory guard (~512 MB).
+[[nodiscard]] KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items,
+                                               long long capacity);
+
+/// Fully polynomial approximation scheme: profit within (1 - eps) of optimal,
+/// weight within capacity, O(n^2 * n/eps) time via profit scaling [13].
+[[nodiscard]] KnapsackSelection knapsack_fptas(std::span<const KnapsackItem> items,
+                                               long long capacity, double eps);
+
+/// Dantzig greedy by profit density plus best-single-item; guarantees at
+/// least half the optimal profit. Cheap upper stage for tests and warm
+/// starts.
+[[nodiscard]] KnapsackSelection knapsack_greedy(std::span<const KnapsackItem> items,
+                                                long long capacity);
+
+/// Exhaustive search for n <= 24 (test oracle).
+[[nodiscard]] KnapsackSelection knapsack_brute_force(std::span<const KnapsackItem> items,
+                                                     long long capacity);
+
+/// Exact depth-first branch and bound with the Dantzig fractional upper
+/// bound. Memory is O(n) (no DP table), so it complements the pseudo-
+/// polynomial DP when the capacity is huge; exponential worst-case time,
+/// bounded by `node_budget` explored nodes (throws std::runtime_error when
+/// exceeded).
+[[nodiscard]] KnapsackSelection knapsack_branch_and_bound(std::span<const KnapsackItem> items,
+                                                          long long capacity,
+                                                          long long node_budget = 50'000'000);
+
+/// Exact solver for the dual problem (P'): minimum total weight subset with
+/// profit >= demand. Returns std::nullopt when even all items together fall
+/// short of `demand`. DP over profit, O(n * demand).
+[[nodiscard]] std::optional<KnapsackSelection> min_knapsack_exact(
+    std::span<const KnapsackItem> items, long long demand);
+
+/// (1+eps)-approximation of (P'): returns a subset with profit >= demand and
+/// weight <= (1+eps) * optimal weight, or std::nullopt when infeasible.
+[[nodiscard]] std::optional<KnapsackSelection> min_knapsack_approx(
+    std::span<const KnapsackItem> items, long long demand, double eps);
+
+}  // namespace malsched

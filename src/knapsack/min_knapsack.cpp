@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace malsched {
+
+namespace detail {
+void validate_items(std::span<const KnapsackItem> items);
+}
+
+namespace {
+
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+
+// Shared DP core: minimize weight subject to (rounded) profit >= demand.
+// Profits are pre-divided by `scale` (rounded down) which preserves the hard
+// constraint because the caller rounds the demand up by the same factor.
+std::optional<KnapsackSelection> solve_min(std::span<const KnapsackItem> items,
+                                           std::span<const long long> profits,
+                                           long long demand) {
+  KnapsackSelection result;
+  if (demand <= 0) return result;  // empty set already satisfies the demand
+
+  const auto n = items.size();
+  const auto q_max = static_cast<std::size_t>(demand);
+  // dp[q] = min weight achieving profit >= q (profit clipped at demand).
+  std::vector<long long> dp(q_max + 1, kInf);
+  dp[0] = 0;
+  std::vector<std::vector<char>> take(n, std::vector<char>(q_max + 1, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const long long p = profits[i];
+    const long long w = items[i].weight;
+    if (p <= 0) continue;
+    for (std::size_t q = q_max + 1; q-- > 0;) {
+      if (q == 0) continue;
+      const auto q_prev =
+          static_cast<std::size_t>(std::max<long long>(0, static_cast<long long>(q) - p));
+      if (dp[q_prev] >= kInf) continue;
+      const long long candidate = dp[q_prev] + w;
+      if (candidate < dp[q]) {
+        dp[q] = candidate;
+        take[i][q] = 1;
+      }
+    }
+  }
+  if (dp[q_max] >= kInf) return std::nullopt;
+
+  std::size_t q = q_max;
+  for (std::size_t i = n; i-- > 0;) {
+    if (q > 0 && take[i][q]) {
+      result.items.push_back(static_cast<int>(i));
+      result.weight += items[i].weight;
+      result.profit += items[i].profit;
+      q = static_cast<std::size_t>(
+          std::max<long long>(0, static_cast<long long>(q) - profits[i]));
+    }
+  }
+  std::reverse(result.items.begin(), result.items.end());
+  return result;
+}
+
+}  // namespace
+
+std::optional<KnapsackSelection> min_knapsack_exact(std::span<const KnapsackItem> items,
+                                                    long long demand) {
+  detail::validate_items(items);
+  if (demand > 0 &&
+      items.size() * (static_cast<std::size_t>(demand) + 1) > (std::size_t{1} << 29)) {
+    throw std::length_error("min_knapsack_exact: DP table exceeds memory guard");
+  }
+  std::vector<long long> profits(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) profits[i] = items[i].profit;
+  return solve_min(items, profits, demand);
+}
+
+std::optional<KnapsackSelection> min_knapsack_approx(std::span<const KnapsackItem> items,
+                                                     long long demand, double eps) {
+  detail::validate_items(items);
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("min_knapsack_approx: eps must lie in (0, 1)");
+  }
+  if (demand <= 0) return KnapsackSelection{};
+
+  // Below the guard the exact DP is affordable; above it, scale profits down
+  // (and the demand up) so the DP stays O(n^2 / eps). Rounding the demand up
+  // preserves the hard profit constraint; the weight objective is then
+  // optimal for the rounded instance (a (1+eps)-style relaxation in the
+  // spirit of Lemma 2's scheme).
+  const std::size_t budget = std::size_t{1} << 26;
+  if (items.size() * (static_cast<std::size_t>(demand) + 1) <= budget) {
+    return min_knapsack_exact(items, demand);
+  }
+  const double k_scale =
+      std::max(1.0, eps * static_cast<double>(demand) / static_cast<double>(items.size()));
+  std::vector<long long> profits(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    profits[i] =
+        static_cast<long long>(std::floor(static_cast<double>(items[i].profit) / k_scale));
+  }
+  const auto scaled_demand =
+      static_cast<long long>(std::ceil(static_cast<double>(demand) / k_scale));
+  auto selection = solve_min(items, profits, scaled_demand);
+  if (!selection) return std::nullopt;
+  // The rounded solve guarantees sum(floor(p/K)) >= ceil(demand/K), hence the
+  // true profit also covers the demand.
+  return selection;
+}
+
+}  // namespace malsched

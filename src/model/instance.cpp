@@ -1,0 +1,25 @@
+#include "model/instance.hpp"
+
+#include <stdexcept>
+
+namespace malsched {
+
+Instance::Instance(int machines, std::vector<MalleableTask> tasks)
+    : machines_(machines), tasks_(std::move(tasks)) {
+  if (machines_ < 1) throw std::invalid_argument("Instance: machines must be >= 1");
+  for (const auto& task : tasks_) {
+    if (task.max_procs() < machines_) {
+      throw std::invalid_argument("Instance: task profile shorter than machine count" +
+                                  (task.name().empty() ? std::string{}
+                                                       : " (task " + task.name() + ")"));
+    }
+  }
+}
+
+double Instance::total_sequential_work() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) total += task.seq_time();
+  return total;
+}
+
+}  // namespace malsched

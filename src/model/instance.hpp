@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "model/malleable_task.hpp"
+
+/// A scheduling problem instance: n independent monotonic malleable tasks to
+/// be run on m identical processors (the paper's Section 2 setting).
+namespace malsched {
+
+class Instance {
+ public:
+  /// Builds an instance; every task profile must cover at least `machines`
+  /// processor counts (throws std::invalid_argument otherwise).
+  Instance(int machines, std::vector<MalleableTask> tasks);
+
+  /// Number of identical processors m.
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+
+  /// Number of tasks n.
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(tasks_.size()); }
+
+  /// Task by index (0-based).
+  [[nodiscard]] const MalleableTask& task(int index) const { return tasks_.at(static_cast<std::size_t>(index)); }
+
+  [[nodiscard]] const std::vector<MalleableTask>& tasks() const noexcept { return tasks_; }
+
+  /// Sum of sequential works (the minimal possible total work under
+  /// monotonicity since w(p) is non-decreasing in p).
+  [[nodiscard]] double total_sequential_work() const;
+
+ private:
+  int machines_;
+  std::vector<MalleableTask> tasks_;
+};
+
+}  // namespace malsched

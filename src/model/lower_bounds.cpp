@@ -1,0 +1,23 @@
+#include "model/lower_bounds.hpp"
+
+#include <algorithm>
+
+namespace malsched {
+
+double area_lower_bound(const Instance& instance) {
+  return instance.total_sequential_work() / static_cast<double>(instance.machines());
+}
+
+double critical_path_lower_bound(const Instance& instance) {
+  double bound = 0.0;
+  for (const auto& task : instance.tasks()) {
+    bound = std::max(bound, task.time(instance.machines()));
+  }
+  return bound;
+}
+
+double makespan_lower_bound(const Instance& instance) {
+  return std::max(area_lower_bound(instance), critical_path_lower_bound(instance));
+}
+
+}  // namespace malsched

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "model/instance.hpp"
+
+/// Makespan lower bounds valid even against preemptive, non-contiguous
+/// optimal schedules (the reference the paper measures against, Section 2).
+namespace malsched {
+
+/// Area bound: OPT >= (1/m) * sum_i w_i(1). Work is non-decreasing in p, so
+/// each task contributes at least its sequential work.
+[[nodiscard]] double area_lower_bound(const Instance& instance);
+
+/// Critical-path bound: OPT >= max_i t_i(m); even all m processors cannot
+/// finish task i sooner.
+[[nodiscard]] double critical_path_lower_bound(const Instance& instance);
+
+/// max(area, critical path) -- the standard combined bound.
+[[nodiscard]] double makespan_lower_bound(const Instance& instance);
+
+}  // namespace malsched

@@ -1,0 +1,77 @@
+#include "model/malleable_task.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+namespace {
+
+// Monotonicity is checked with a small relative slack so that profiles
+// produced by floating-point formulas (e.g. Amdahl curves) are not rejected
+// for last-bit noise.
+bool non_increasing(double previous, double current) noexcept {
+  return current <= previous * (1.0 + kRelEps) + kAbsEps;
+}
+
+}  // namespace
+
+std::optional<std::string> MalleableTask::validate(const std::vector<double>& times) {
+  if (times.empty()) return "profile is empty";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!(times[i] > 0.0) || !std::isfinite(times[i])) {
+      return "t(" + std::to_string(i + 1) + ") is not a positive finite number";
+    }
+  }
+  for (std::size_t p = 1; p < times.size(); ++p) {
+    if (!non_increasing(times[p - 1], times[p])) {
+      return "t(p) increases at p=" + std::to_string(p + 1);
+    }
+    const double work_prev = static_cast<double>(p) * times[p - 1];
+    const double work_cur = static_cast<double>(p + 1) * times[p];
+    if (!non_increasing(work_cur, work_prev)) {  // i.e. work_prev <= work_cur required
+      return "work p*t(p) decreases at p=" + std::to_string(p + 1) +
+             " (super-linear speedup violates monotonicity)";
+    }
+  }
+  return std::nullopt;
+}
+
+MalleableTask::MalleableTask(std::vector<double> times, std::string name)
+    : times_(std::move(times)), name_(std::move(name)) {
+  if (const auto problem = validate(times_)) {
+    throw std::invalid_argument("MalleableTask: " + *problem +
+                                (name_.empty() ? std::string{} : " (task " + name_ + ")"));
+  }
+}
+
+double MalleableTask::time(int procs) const {
+  if (procs < 1 || procs > max_procs()) {
+    throw std::out_of_range("MalleableTask::time: procs=" + std::to_string(procs) +
+                            " outside [1, " + std::to_string(max_procs()) + "]");
+  }
+  return times_[static_cast<std::size_t>(procs) - 1];
+}
+
+double MalleableTask::work(int procs) const { return static_cast<double>(procs) * time(procs); }
+
+std::optional<int> MalleableTask::min_procs_for(double deadline) const {
+  // t is non-increasing, so the feasible processor counts form a suffix;
+  // binary search the first p with t(p) <= deadline.
+  if (!leq(times_.back(), deadline)) return std::nullopt;
+  int lo = 1;
+  int hi = max_procs();
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (leq(times_[static_cast<std::size_t>(mid) - 1], deadline)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace malsched

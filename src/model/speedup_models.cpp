@@ -1,0 +1,118 @@
+#include "model/speedup_models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/monotonize.hpp"
+
+namespace malsched {
+
+namespace {
+
+void check_args(double seq_time, int max_procs) {
+  if (!(seq_time > 0.0)) throw std::invalid_argument("speedup model: seq_time must be positive");
+  if (max_procs < 1) throw std::invalid_argument("speedup model: max_procs must be >= 1");
+}
+
+}  // namespace
+
+std::vector<double> amdahl_profile(double seq_time, double serial_fraction, int max_procs) {
+  check_args(seq_time, max_procs);
+  if (serial_fraction < 0.0 || serial_fraction > 1.0) {
+    throw std::invalid_argument("amdahl_profile: serial_fraction outside [0, 1]");
+  }
+  std::vector<double> times(static_cast<std::size_t>(max_procs));
+  for (int p = 1; p <= max_procs; ++p) {
+    times[static_cast<std::size_t>(p) - 1] =
+        seq_time * (serial_fraction + (1.0 - serial_fraction) / static_cast<double>(p));
+  }
+  return monotonize(std::move(times));
+}
+
+std::vector<double> power_law_profile(double seq_time, double alpha, int max_procs) {
+  check_args(seq_time, max_procs);
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("power_law_profile: alpha outside [0, 1]");
+  }
+  std::vector<double> times(static_cast<std::size_t>(max_procs));
+  for (int p = 1; p <= max_procs; ++p) {
+    times[static_cast<std::size_t>(p) - 1] = seq_time / std::pow(static_cast<double>(p), alpha);
+  }
+  return monotonize(std::move(times));
+}
+
+std::vector<double> comm_overhead_profile(double seq_time, double overhead, int max_procs) {
+  check_args(seq_time, max_procs);
+  if (overhead < 0.0) throw std::invalid_argument("comm_overhead_profile: negative overhead");
+  std::vector<double> times(static_cast<std::size_t>(max_procs));
+  for (int p = 1; p <= max_procs; ++p) {
+    times[static_cast<std::size_t>(p) - 1] =
+        seq_time / static_cast<double>(p) + overhead * static_cast<double>(p - 1);
+  }
+  return monotonize(std::move(times));
+}
+
+std::vector<double> staircase_profile(double seq_time, int max_procs) {
+  check_args(seq_time, max_procs);
+  std::vector<double> times(static_cast<std::size_t>(max_procs));
+  for (int p = 1; p <= max_procs; ++p) {
+    // Largest power of two not exceeding p actually contributes.
+    int used = 1;
+    while (used * 2 <= p) used *= 2;
+    times[static_cast<std::size_t>(p) - 1] = seq_time / static_cast<double>(used);
+  }
+  return monotonize(std::move(times));
+}
+
+std::vector<double> linear_profile(double seq_time, int max_procs) {
+  check_args(seq_time, max_procs);
+  std::vector<double> times(static_cast<std::size_t>(max_procs));
+  for (int p = 1; p <= max_procs; ++p) {
+    times[static_cast<std::size_t>(p) - 1] = seq_time / static_cast<double>(p);
+  }
+  return times;  // already monotonic by construction
+}
+
+std::vector<double> sequential_profile(double seq_time, int max_procs) {
+  check_args(seq_time, max_procs);
+  return std::vector<double>(static_cast<std::size_t>(max_procs), seq_time);
+}
+
+std::string to_string(SpeedupModel model) {
+  switch (model) {
+    case SpeedupModel::kAmdahl:
+      return "amdahl";
+    case SpeedupModel::kPowerLaw:
+      return "power-law";
+    case SpeedupModel::kCommOverhead:
+      return "comm-overhead";
+    case SpeedupModel::kStaircase:
+      return "staircase";
+    case SpeedupModel::kLinear:
+      return "linear";
+    case SpeedupModel::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_profile(SpeedupModel model, double seq_time, double shape,
+                                 int max_procs) {
+  switch (model) {
+    case SpeedupModel::kAmdahl:
+      return amdahl_profile(seq_time, shape, max_procs);
+    case SpeedupModel::kPowerLaw:
+      return power_law_profile(seq_time, shape, max_procs);
+    case SpeedupModel::kCommOverhead:
+      return comm_overhead_profile(seq_time, shape, max_procs);
+    case SpeedupModel::kStaircase:
+      return staircase_profile(seq_time, max_procs);
+    case SpeedupModel::kLinear:
+      return linear_profile(seq_time, max_procs);
+    case SpeedupModel::kSequential:
+      return sequential_profile(seq_time, max_procs);
+  }
+  throw std::invalid_argument("make_profile: unknown model");
+}
+
+}  // namespace malsched

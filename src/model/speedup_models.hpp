@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/malleable_task.hpp"
+
+/// Parametric speedup models used to synthesize malleable tasks.
+///
+/// Each builder returns a full time profile t(1..m). All profiles are run
+/// through `monotonize`, so they satisfy the paper's assumptions even where
+/// the raw formula would not (e.g. communication overhead dominating at
+/// large p).
+namespace malsched {
+
+/// Amdahl's law: t(p) = seq * (serial_fraction + (1 - serial_fraction)/p).
+/// serial_fraction in [0, 1]; 0 is perfectly parallel, 1 purely sequential.
+[[nodiscard]] std::vector<double> amdahl_profile(double seq_time, double serial_fraction,
+                                                 int max_procs);
+
+/// Power-law (Downey-style) speedup: t(p) = seq / p^alpha, alpha in [0, 1].
+/// alpha = 1 is linear speedup; alpha = 0 no speedup.
+[[nodiscard]] std::vector<double> power_law_profile(double seq_time, double alpha, int max_procs);
+
+/// Communication-overhead model: t(p) = seq/p + overhead * (p - 1).
+/// Mirrors the paper's view of malleable tasks as "parallel time plus a
+/// penalty for managing parallelism"; monotonized past the turning point
+/// (surplus processors are simply left idle by the task).
+[[nodiscard]] std::vector<double> comm_overhead_profile(double seq_time, double overhead,
+                                                        int max_procs);
+
+/// Staircase profile: speedup improves only at power-of-two processor counts
+/// (typical of fixed-decomposition codes).
+[[nodiscard]] std::vector<double> staircase_profile(double seq_time, int max_procs);
+
+/// Perfectly parallel task: t(p) = seq / p.
+[[nodiscard]] std::vector<double> linear_profile(double seq_time, int max_procs);
+
+/// Task that cannot use more than one processor: t(p) = seq.
+[[nodiscard]] std::vector<double> sequential_profile(double seq_time, int max_procs);
+
+/// Identifier for the family of a generated profile.
+enum class SpeedupModel {
+  kAmdahl,
+  kPowerLaw,
+  kCommOverhead,
+  kStaircase,
+  kLinear,
+  kSequential,
+};
+
+/// Human-readable model name (for tables and Gantt labels).
+[[nodiscard]] std::string to_string(SpeedupModel model);
+
+/// Dispatches to the matching builder. `shape` is the model's free parameter:
+/// serial fraction (Amdahl), alpha (power law), overhead (comm), unused
+/// otherwise.
+[[nodiscard]] std::vector<double> make_profile(SpeedupModel model, double seq_time, double shape,
+                                               int max_procs);
+
+}  // namespace malsched

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// One-dimensional First Fit packing.
+///
+/// Section 4.1 of the paper packs the "small" sequential tasks (canonical
+/// time <= 1/2) onto shelf processors with the First Fit rule; FF(S, d)
+/// denotes the number of processors First Fit needs to pack the set S under
+/// time deadline d. The paper only relies on the elementary property that if
+/// FF(S, d) > 1 then the total size of S exceeds d * FF(S, d) / 2 (every bin
+/// but possibly one is more than half full); `first_fit_half_full_bound`
+/// exposes that check for the tests.
+namespace malsched {
+
+/// Result of a 1-D packing: bin b holds item indices `bins[b]` whose sizes
+/// sum to `loads[b] <= capacity`.
+struct BinPacking {
+  std::vector<std::vector<int>> bins;
+  std::vector<double> loads;
+
+  [[nodiscard]] int bin_count() const noexcept { return static_cast<int>(bins.size()); }
+};
+
+/// First Fit: items in the given order, each into the lowest-index bin that
+/// still has room. Throws std::invalid_argument if an item exceeds the
+/// capacity (up to tolerance).
+[[nodiscard]] BinPacking first_fit(std::span<const double> sizes, double capacity);
+
+/// First Fit Decreasing: sorts by non-increasing size first (the classical
+/// 11/9 OPT + 4 bound, Johnson et al. [11] in the paper's references).
+[[nodiscard]] BinPacking first_fit_decreasing(std::span<const double> sizes, double capacity);
+
+/// Best Fit: each item into the *fullest* bin that still has room.
+[[nodiscard]] BinPacking best_fit(std::span<const double> sizes, double capacity);
+
+/// Best Fit Decreasing.
+[[nodiscard]] BinPacking best_fit_decreasing(std::span<const double> sizes, double capacity);
+
+/// FF(S, d) of the paper: number of bins First Fit opens.
+[[nodiscard]] int first_fit_bin_count(std::span<const double> sizes, double capacity);
+
+/// The property the paper quotes: with k = FF(S, d) bins, total size
+/// > d * (k - 1) / 2 (all bins except possibly the last are pairwise
+/// incompatible). Returns true when the packing satisfies it.
+[[nodiscard]] bool first_fit_half_full_bound(const BinPacking& packing, double capacity);
+
+}  // namespace malsched

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+/// Contiguous processor allocation within a single shelf.
+///
+/// A shelf is a horizontal band of the Gantt chart in which tasks are placed
+/// side by side; processors are a row 0..m-1 and each task takes a contiguous
+/// interval. This tiny allocator hands out intervals left to right and is
+/// shared by the two-shelf construction (core/two_shelf) and the baselines.
+namespace malsched {
+
+class ShelfAllocator {
+ public:
+  explicit ShelfAllocator(int machines) noexcept : machines_(machines) {}
+
+  /// Reserves `width` contiguous processors; returns the first index, or
+  /// std::nullopt when fewer than `width` remain.
+  [[nodiscard]] std::optional<int> allocate(int width) noexcept {
+    if (width < 1 || next_ + width > machines_) return std::nullopt;
+    const int first = next_;
+    next_ += width;
+    return first;
+  }
+
+  /// Processors handed out so far.
+  [[nodiscard]] int used() const noexcept { return next_; }
+
+  /// Processors still free.
+  [[nodiscard]] int remaining() const noexcept { return machines_ - next_; }
+
+ private:
+  int machines_;
+  int next_{0};
+};
+
+}  // namespace malsched

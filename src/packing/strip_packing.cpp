@@ -1,0 +1,112 @@
+#include "packing/strip_packing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+namespace {
+
+struct Level {
+  double y{0.0};
+  double height{0.0};
+  int used_width{0};
+};
+
+std::vector<int> by_decreasing_height(std::span<const Rect> rects) {
+  std::vector<int> order(rects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return rects[static_cast<std::size_t>(a)].height > rects[static_cast<std::size_t>(b)].height;
+  });
+  return order;
+}
+
+void check_widths(std::span<const Rect> rects, int strip_width) {
+  for (const auto& rect : rects) {
+    if (rect.width < 1 || rect.width > strip_width) {
+      throw std::invalid_argument("strip packing: rectangle width outside [1, strip_width]");
+    }
+    if (!(rect.height > 0.0)) {
+      throw std::invalid_argument("strip packing: rectangle height must be positive");
+    }
+  }
+}
+
+}  // namespace
+
+StripPacking nfdh(std::span<const Rect> rects, int strip_width) {
+  check_widths(rects, strip_width);
+  StripPacking result;
+  const auto order = by_decreasing_height(rects);
+  Level current;
+  bool open = false;
+  for (const int item : order) {
+    const auto& rect = rects[static_cast<std::size_t>(item)];
+    if (!open || current.used_width + rect.width > strip_width) {
+      // Close the level and open the next one on top of it.
+      const double next_y = open ? current.y + current.height : 0.0;
+      current = Level{next_y, rect.height, 0};
+      open = true;
+      ++result.levels;
+    }
+    result.placements.push_back({item, current.used_width, current.y});
+    current.used_width += rect.width;
+    result.height = std::max(result.height, current.y + rect.height);
+  }
+  return result;
+}
+
+StripPacking ffdh(std::span<const Rect> rects, int strip_width) {
+  check_widths(rects, strip_width);
+  StripPacking result;
+  const auto order = by_decreasing_height(rects);
+  std::vector<Level> levels;
+  for (const int item : order) {
+    const auto& rect = rects[static_cast<std::size_t>(item)];
+    Level* home = nullptr;
+    for (auto& level : levels) {
+      if (level.used_width + rect.width <= strip_width) {
+        home = &level;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      const double next_y = levels.empty() ? 0.0 : levels.back().y + levels.back().height;
+      levels.push_back(Level{next_y, rect.height, 0});
+      home = &levels.back();
+      ++result.levels;
+    }
+    result.placements.push_back({item, home->used_width, home->y});
+    home->used_width += rect.width;
+    result.height = std::max(result.height, home->y + rect.height);
+  }
+  return result;
+}
+
+bool is_valid_packing(const StripPacking& packing, std::span<const Rect> rects, int strip_width) {
+  for (const auto& place : packing.placements) {
+    const auto& rect = rects[static_cast<std::size_t>(place.item)];
+    if (place.x < 0 || place.x + rect.width > strip_width) return false;
+    if (place.y < -kAbsEps) return false;
+    if (!leq(place.y + rect.height, packing.height)) return false;
+  }
+  for (std::size_t a = 0; a < packing.placements.size(); ++a) {
+    for (std::size_t b = a + 1; b < packing.placements.size(); ++b) {
+      const auto& pa = packing.placements[a];
+      const auto& pb = packing.placements[b];
+      const auto& ra = rects[static_cast<std::size_t>(pa.item)];
+      const auto& rb = rects[static_cast<std::size_t>(pb.item)];
+      const bool x_disjoint = pa.x + ra.width <= pb.x || pb.x + rb.width <= pa.x;
+      const bool y_disjoint =
+          leq(pa.y + ra.height, pb.y + kAbsEps) || leq(pb.y + rb.height, pa.y + kAbsEps);
+      if (!x_disjoint && !y_disjoint) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace malsched

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// Level-oriented 2-dimensional strip packing.
+///
+/// The paper's related work (Turek/Wolf/Yu, Ludwig) reduces non-malleable
+/// parallel-task scheduling to strip packing: rectangles of integer width
+/// (processors) and real height (time) packed into a strip of width m.
+/// We implement the two classical level algorithms analyzed by Coffman,
+/// Garey, Johnson and Tarjan [5]:
+///   * NFDH (Next Fit Decreasing Height):  NFDH(L) <= 2 OPT + h_max
+///   * FFDH (First Fit Decreasing Height): FFDH(L) <= 1.7 OPT + h_max
+/// Both produce *contiguous* placements, which is what the baselines need.
+namespace malsched {
+
+/// A rectangle to pack: `width` processors for `height` time.
+struct Rect {
+  int width{1};
+  double height{0.0};
+};
+
+/// Placement of rectangle `item` at processor column `x`, time `y`.
+struct RectPlacement {
+  int item{0};
+  int x{0};
+  double y{0.0};
+};
+
+/// Result of a strip packing run.
+struct StripPacking {
+  std::vector<RectPlacement> placements;
+  double height{0.0};  ///< makespan of the packing
+  int levels{0};       ///< number of levels (shelves) opened
+};
+
+/// Next Fit Decreasing Height into a strip of width `strip_width`.
+/// Throws std::invalid_argument if any rectangle is wider than the strip.
+[[nodiscard]] StripPacking nfdh(std::span<const Rect> rects, int strip_width);
+
+/// First Fit Decreasing Height into a strip of width `strip_width`.
+[[nodiscard]] StripPacking ffdh(std::span<const Rect> rects, int strip_width);
+
+/// Validity check used by the tests: placements within the strip, pairwise
+/// non-overlapping, heights consistent with `height`.
+[[nodiscard]] bool is_valid_packing(const StripPacking& packing, std::span<const Rect> rects,
+                                    int strip_width);
+
+}  // namespace malsched

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// ASCII Gantt rendering.
+///
+/// Regenerates the paper's schematic figures (1-5) from real schedules:
+/// processors are rows, time runs left to right, each task paints its cells
+/// with a letter. Used by examples/algorithm_anatomy and handy for debugging.
+namespace malsched {
+
+struct GanttOptions {
+  int width{72};          ///< number of time columns
+  int max_rows{48};       ///< processors beyond this are elided
+  bool show_legend{true}; ///< print task letter -> name/duration legend
+};
+
+/// Renders `schedule` to `out`. Idle cells print '.', task cells a letter
+/// cycling A..Z then a..z.
+void render_gantt(std::ostream& out, const Schedule& schedule, const Instance& instance,
+                  const GanttOptions& options = {});
+
+/// Convenience string form.
+[[nodiscard]] std::string gantt_to_string(const Schedule& schedule, const Instance& instance,
+                                          const GanttOptions& options = {});
+
+}  // namespace malsched

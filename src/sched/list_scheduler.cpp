@@ -1,0 +1,122 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/sliding.hpp"
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+namespace {
+
+void check_inputs(const Instance& instance, std::span<const int> allotment,
+                  std::span<const int> order) {
+  const auto n = static_cast<std::size_t>(instance.size());
+  if (allotment.size() != n) throw std::invalid_argument("list_schedule: allotment size != n");
+  if (order.size() != n) throw std::invalid_argument("list_schedule: order size != n");
+  for (const int p : allotment) {
+    if (p < 1 || p > instance.machines()) {
+      throw std::invalid_argument("list_schedule: allotment outside [1, m]");
+    }
+  }
+  std::vector<char> seen(n, 0);
+  for (const int task : order) {
+    if (task < 0 || static_cast<std::size_t>(task) >= n || seen[static_cast<std::size_t>(task)]) {
+      throw std::invalid_argument("list_schedule: order is not a permutation of tasks");
+    }
+    seen[static_cast<std::size_t>(task)] = 1;
+  }
+}
+
+}  // namespace
+
+Schedule list_schedule(const Instance& instance, std::span<const int> allotment,
+                       std::span<const int> order, Placement placement) {
+  check_inputs(instance, allotment, order);
+  const int machines = instance.machines();
+  Schedule schedule(machines, instance.size());
+  std::vector<double> avail(static_cast<std::size_t>(machines), 0.0);
+
+  for (const int task : order) {
+    const int procs = allotment[static_cast<std::size_t>(task)];
+    const double duration = instance.task(task).time(procs);
+
+    if (placement == Placement::kScattered) {
+      // p least-loaded processors; start when the busiest of them frees up.
+      std::vector<int> by_avail(static_cast<std::size_t>(machines));
+      std::iota(by_avail.begin(), by_avail.end(), 0);
+      std::stable_sort(by_avail.begin(), by_avail.end(), [&](int a, int b) {
+        return avail[static_cast<std::size_t>(a)] < avail[static_cast<std::size_t>(b)];
+      });
+      std::vector<int> chosen(by_avail.begin(), by_avail.begin() + procs);
+      double start = 0.0;
+      for (const int p : chosen) start = std::max(start, avail[static_cast<std::size_t>(p)]);
+      for (const int p : chosen) avail[static_cast<std::size_t>(p)] = start + duration;
+      schedule.assign_scattered(task, start, duration, std::move(chosen));
+      continue;
+    }
+
+    // Earliest start over all contiguous windows of width `procs`.
+    const auto ready = sliding_window_max(avail, procs);
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const double r : ready) earliest = std::min(earliest, r);
+
+    int column = -1;
+    const bool starts_at_zero = approx_eq(earliest, 0.0);
+    const bool leftmost =
+        placement == Placement::kContiguousLeftmost || starts_at_zero;
+    if (leftmost) {
+      for (std::size_t s = 0; s < ready.size(); ++s) {
+        if (approx_eq(ready[s], earliest)) {
+          column = static_cast<int>(s);
+          break;
+        }
+      }
+    } else {
+      for (std::size_t s = ready.size(); s-- > 0;) {
+        if (approx_eq(ready[s], earliest)) {
+          column = static_cast<int>(s);
+          break;
+        }
+      }
+    }
+
+    schedule.assign(task, earliest, duration, column, procs);
+    for (int j = column; j < column + procs; ++j) {
+      avail[static_cast<std::size_t>(j)] = earliest + duration;
+    }
+  }
+  return schedule;
+}
+
+std::vector<int> order_by_decreasing(std::span<const double> keys) {
+  std::vector<int> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return keys[static_cast<std::size_t>(a)] > keys[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> order_by_decreasing_alloted_time(const Instance& instance,
+                                                  std::span<const int> allotment) {
+  std::vector<double> keys(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) {
+    keys[static_cast<std::size_t>(i)] =
+        instance.task(i).time(allotment[static_cast<std::size_t>(i)]);
+  }
+  return order_by_decreasing(keys);
+}
+
+std::vector<int> order_by_decreasing_seq_time(const Instance& instance) {
+  std::vector<double> keys(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) {
+    keys[static_cast<std::size_t>(i)] = instance.task(i).seq_time();
+  }
+  return order_by_decreasing(keys);
+}
+
+}  // namespace malsched

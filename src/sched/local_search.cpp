@@ -1,0 +1,94 @@
+#include "sched/local_search.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "sched/list_scheduler.hpp"
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+namespace {
+
+/// Candidate alternative widths for the critical task: halve, nudge, double.
+std::vector<int> candidate_widths(int current, int machines) {
+  std::set<int> widths{1, std::max(1, current / 2), std::max(1, current - 1),
+                       std::min(machines, current + 1), std::min(machines, current * 2),
+                       machines};
+  widths.erase(current);
+  return {widths.begin(), widths.end()};
+}
+
+}  // namespace
+
+LocalSearchResult improve_schedule(const Instance& instance, const Schedule& seed,
+                                   const LocalSearchOptions& options) {
+  // Work on (allotment, order) coordinates: rebuilding through the list
+  // scheduler keeps every intermediate schedule feasible.
+  std::vector<int> allotment(static_cast<std::size_t>(instance.size()));
+  std::vector<int> order(static_cast<std::size_t>(instance.size()));
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = 0; i < instance.size(); ++i) {
+    allotment[static_cast<std::size_t>(i)] = seed.of(i).procs();
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return seed.of(a).start < seed.of(b).start;
+  });
+
+  Schedule best = list_schedule(instance, allotment, order);
+  // The rebuild may already differ from the seed; never return something
+  // worse than what we were given.
+  if (best.makespan() > seed.makespan()) best = seed;
+  double best_makespan = best.makespan();
+  const double seed_makespan = seed.makespan();
+
+  int rounds = 0;
+  bool progress = true;
+  while (progress && rounds < options.max_rounds) {
+    progress = false;
+    // The task that finishes last is the one worth moving.
+    int critical = 0;
+    for (int i = 1; i < instance.size(); ++i) {
+      if (best.of(i).end() > best.of(critical).end()) critical = i;
+    }
+
+    // Try alternative widths for the critical task.
+    for (const int width : candidate_widths(
+             allotment[static_cast<std::size_t>(critical)], instance.machines())) {
+      auto trial_allotment = allotment;
+      trial_allotment[static_cast<std::size_t>(critical)] = width;
+      const auto trial = list_schedule(instance, trial_allotment, order);
+      if (trial.makespan() < best_makespan - kAbsEps) {
+        allotment = std::move(trial_allotment);
+        best = trial;
+        best_makespan = trial.makespan();
+        progress = true;
+        break;
+      }
+    }
+    if (progress) {
+      ++rounds;
+      continue;
+    }
+
+    // Try promoting the critical task to the front of the list.
+    auto trial_order = order;
+    const auto it = std::find(trial_order.begin(), trial_order.end(), critical);
+    std::rotate(trial_order.begin(), it, it + 1);
+    const auto trial = list_schedule(instance, allotment, trial_order);
+    if (trial.makespan() < best_makespan - kAbsEps) {
+      order = std::move(trial_order);
+      best = trial;
+      best_makespan = trial.makespan();
+      progress = true;
+      ++rounds;
+    }
+  }
+
+  return LocalSearchResult{std::move(best), best_makespan, rounds,
+                           best_makespan < seed_makespan - kAbsEps};
+}
+
+}  // namespace malsched

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// Makespan local search -- an optional post-pass on any feasible schedule.
+///
+/// The paper's guarantee machinery never needs this, but a practical
+/// scheduler wants it: repeatedly take the task that finishes last, try
+/// alternative allotments and an earlier list position for it, and keep any
+/// strict improvement. The result never degrades the input schedule and is
+/// re-validated by construction (the rebuild goes through the same list
+/// scheduler as every other schedule in the library).
+namespace malsched {
+
+struct LocalSearchOptions {
+  /// Maximum accepted improvements before stopping.
+  int max_rounds{64};
+};
+
+struct LocalSearchResult {
+  Schedule schedule;
+  double makespan;
+  int rounds;     ///< improvements accepted
+  bool improved;  ///< true when the makespan strictly decreased
+};
+
+/// Improves `seed`; the returned schedule's makespan is <= seed's.
+[[nodiscard]] LocalSearchResult improve_schedule(const Instance& instance, const Schedule& seed,
+                                                 const LocalSearchOptions& options = {});
+
+}  // namespace malsched

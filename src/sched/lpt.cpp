@@ -1,0 +1,51 @@
+#include "sched/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace malsched {
+
+LptResult lpt(std::span<const double> durations, int machines) {
+  if (machines < 1) throw std::invalid_argument("lpt: machines must be >= 1");
+  for (const double d : durations) {
+    if (!(d > 0.0)) throw std::invalid_argument("lpt: durations must be positive");
+  }
+  LptResult result;
+  result.machine_of.assign(durations.size(), 0);
+  result.start_of.assign(durations.size(), 0.0);
+
+  std::vector<int> order(durations.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return durations[static_cast<std::size_t>(a)] > durations[static_cast<std::size_t>(b)];
+  });
+
+  // Min-heap of (available time, machine); earliest machine wins, lower
+  // index breaks ties for determinism.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
+  for (int j = 0; j < machines; ++j) slots.emplace(0.0, j);
+
+  for (const int job : order) {
+    auto [free_at, machine] = slots.top();
+    slots.pop();
+    result.machine_of[static_cast<std::size_t>(job)] = machine;
+    result.start_of[static_cast<std::size_t>(job)] = free_at;
+    const double end = free_at + durations[static_cast<std::size_t>(job)];
+    result.makespan = std::max(result.makespan, end);
+    slots.emplace(end, machine);
+  }
+  return result;
+}
+
+double lpt_makespan(std::span<const double> durations, int machines) {
+  return lpt(durations, machines).makespan;
+}
+
+double lpt_guarantee(int machines) {
+  return 4.0 / 3.0 - 1.0 / (3.0 * static_cast<double>(machines));
+}
+
+}  // namespace malsched

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// Graham's Longest Processing Time rule for sequential jobs.
+///
+/// The malleable list algorithm (paper §3.1) schedules its sequential tail
+/// "identical to the well-known LPT heuristic"; these helpers implement LPT
+/// on plain durations for reuse and for property-testing Graham's
+/// (4/3 - 1/(3m)) bound.
+namespace malsched {
+
+struct LptResult {
+  std::vector<int> machine_of;   ///< job -> machine index
+  std::vector<double> start_of;  ///< job -> start time
+  double makespan{0.0};
+};
+
+/// Runs LPT: jobs sorted by non-increasing duration, each placed on the
+/// machine that frees up first. Throws on non-positive durations or
+/// machines < 1.
+[[nodiscard]] LptResult lpt(std::span<const double> durations, int machines);
+
+/// Makespan only.
+[[nodiscard]] double lpt_makespan(std::span<const double> durations, int machines);
+
+/// Graham's worst-case ratio for LPT on m machines: 4/3 - 1/(3m).
+[[nodiscard]] double lpt_guarantee(int machines);
+
+}  // namespace malsched

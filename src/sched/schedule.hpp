@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+/// Schedule representation shared by every algorithm in the library.
+///
+/// The paper searches for non-preemptive schedules whose processor
+/// assignments are *contiguous* (processors allotted to a task have
+/// consecutive indices, limiting intra-task communication overhead).
+/// Assignments are therefore stored as intervals; a scattered-processor
+/// variant is supported for the non-contiguous baselines and flagged by the
+/// validator.
+namespace malsched {
+
+/// Placement of one task.
+struct Assignment {
+  int task{-1};          ///< index into the instance's task list
+  double start{0.0};     ///< start time (>= 0)
+  double duration{0.0};  ///< must equal t_task(procs()) for the instance
+  int first_proc{0};     ///< first processor of the contiguous interval
+  int num_procs{0};      ///< interval length
+
+  /// Non-empty for scattered (non-contiguous) placements; overrides
+  /// first_proc/num_procs.
+  std::vector<int> scattered;
+
+  [[nodiscard]] bool contiguous() const noexcept { return scattered.empty(); }
+  [[nodiscard]] int procs() const noexcept {
+    return contiguous() ? num_procs : static_cast<int>(scattered.size());
+  }
+  [[nodiscard]] double end() const noexcept { return start + duration; }
+
+  /// Materializes the processor indices (contiguous or scattered).
+  [[nodiscard]] std::vector<int> processor_list() const;
+};
+
+/// A (possibly partial) schedule on `machines` processors for `num_tasks`
+/// tasks.
+class Schedule {
+ public:
+  Schedule(int machines, int num_tasks);
+
+  /// Records a contiguous placement; throws std::logic_error if the task was
+  /// already assigned or indices are out of range.
+  void assign(int task, double start, double duration, int first_proc, int num_procs);
+
+  /// Records a scattered placement (non-contiguous baselines).
+  void assign_scattered(int task, double start, double duration, std::vector<int> processors);
+
+  [[nodiscard]] bool is_assigned(int task) const;
+  [[nodiscard]] const Assignment& of(int task) const;
+
+  /// True when every task has a placement.
+  [[nodiscard]] bool complete() const noexcept { return assigned_count_ == num_tasks_; }
+
+  /// Latest completion time over assigned tasks (0 when empty).
+  [[nodiscard]] double makespan() const noexcept;
+
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+  [[nodiscard]] int num_tasks() const noexcept { return num_tasks_; }
+
+  /// All placements, indexed by task; unassigned entries have task == -1.
+  [[nodiscard]] const std::vector<Assignment>& assignments() const noexcept {
+    return assignments_;
+  }
+
+ private:
+  void check_common(int task, double start, double duration) const;
+
+  int machines_;
+  int num_tasks_;
+  int assigned_count_{0};
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace malsched

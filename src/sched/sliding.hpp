@@ -1,0 +1,33 @@
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+/// Sliding-window maximum, shared by the list schedulers: for processor
+/// availability vectors it yields, in O(m), the earliest feasible start of a
+/// width-w contiguous window.
+namespace malsched {
+
+/// result[s] = max(values[s .. s+width-1]); requires 1 <= width <= size.
+[[nodiscard]] inline std::vector<double> sliding_window_max(std::span<const double> values,
+                                                            int width) {
+  const int n = static_cast<int>(values.size());
+  std::vector<double> result(static_cast<std::size_t>(n - width + 1));
+  std::deque<int> candidates;  // indices whose values decrease
+  for (int j = 0; j < n; ++j) {
+    while (!candidates.empty() && values[static_cast<std::size_t>(candidates.back())] <=
+                                      values[static_cast<std::size_t>(j)]) {
+      candidates.pop_back();
+    }
+    candidates.push_back(j);
+    if (candidates.front() <= j - width) candidates.pop_front();
+    if (j >= width - 1) {
+      result[static_cast<std::size_t>(j - width + 1)] =
+          values[static_cast<std::size_t>(candidates.front())];
+    }
+  }
+  return result;
+}
+
+}  // namespace malsched

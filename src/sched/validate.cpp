@@ -1,0 +1,96 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/math_utils.hpp"
+
+namespace malsched {
+
+std::string ValidationReport::str() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) out << '\n';
+    out << errors[i];
+  }
+  return out.str();
+}
+
+ValidationReport validate_schedule(const Schedule& schedule, const Instance& instance,
+                                   const ValidationOptions& options) {
+  ValidationReport report;
+  if (schedule.machines() != instance.machines()) {
+    report.fail("machine count mismatch between schedule and instance");
+    return report;
+  }
+  if (schedule.num_tasks() != instance.size()) {
+    report.fail("task count mismatch between schedule and instance");
+    return report;
+  }
+
+  for (int i = 0; i < instance.size(); ++i) {
+    if (!schedule.is_assigned(i)) {
+      report.fail("task " + std::to_string(i) + " is not scheduled");
+      continue;
+    }
+    const auto& assignment = schedule.of(i);
+    const int procs = assignment.procs();
+    if (procs < 1 || procs > instance.machines()) {
+      report.fail("task " + std::to_string(i) + ": processor count " + std::to_string(procs) +
+                  " outside [1, m]");
+      continue;
+    }
+    if (options.require_contiguous && !assignment.contiguous()) {
+      report.fail("task " + std::to_string(i) + ": scattered placement where contiguity required");
+    }
+    const double expected = instance.task(i).time(procs);
+    if (!approx_eq(assignment.duration, expected)) {
+      report.fail("task " + std::to_string(i) + ": recorded duration " +
+                  std::to_string(assignment.duration) + " != t(" + std::to_string(procs) +
+                  ") = " + std::to_string(expected));
+    }
+    if (assignment.start < -kAbsEps) {
+      report.fail("task " + std::to_string(i) + ": negative start time");
+    }
+    const auto processors = assignment.processor_list();
+    if (processors.front() < 0 || processors.back() >= instance.machines()) {
+      report.fail("task " + std::to_string(i) + ": processor index outside the machine");
+    }
+  }
+  if (!report.ok) return report;
+
+  // Pairwise overlap: two tasks sharing a processor must be time-disjoint.
+  // Sweep per processor keeps this O(total_procs log + collisions).
+  std::vector<std::vector<int>> on_proc(static_cast<std::size_t>(instance.machines()));
+  for (int i = 0; i < instance.size(); ++i) {
+    for (const int p : schedule.of(i).processor_list()) {
+      on_proc[static_cast<std::size_t>(p)].push_back(i);
+    }
+  }
+  for (int p = 0; p < instance.machines(); ++p) {
+    auto& tasks = on_proc[static_cast<std::size_t>(p)];
+    std::sort(tasks.begin(), tasks.end(), [&](int a, int b) {
+      return schedule.of(a).start < schedule.of(b).start;
+    });
+    for (std::size_t k = 1; k < tasks.size(); ++k) {
+      const auto& prev = schedule.of(tasks[k - 1]);
+      const auto& next = schedule.of(tasks[k]);
+      if (!leq(prev.end(), next.start)) {
+        report.fail("tasks " + std::to_string(prev.task) + " and " + std::to_string(next.task) +
+                    " overlap on processor " + std::to_string(p));
+      }
+    }
+  }
+
+  if (options.makespan_bound > 0.0 && !leq(schedule.makespan(), options.makespan_bound)) {
+    report.fail("makespan " + std::to_string(schedule.makespan()) + " exceeds bound " +
+                std::to_string(options.makespan_bound));
+  }
+  return report;
+}
+
+bool is_valid_schedule(const Schedule& schedule, const Instance& instance) {
+  return validate_schedule(schedule, instance).ok;
+}
+
+}  // namespace malsched

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "sched/schedule.hpp"
+
+/// The single source of truth for schedule feasibility.
+///
+/// Every algorithm in this library validates its output before claiming a
+/// bound; a schedule is never reported without passing these checks.
+namespace malsched {
+
+struct ValidationReport {
+  bool ok{true};
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+
+  /// All errors joined by newlines (empty when ok).
+  [[nodiscard]] std::string str() const;
+};
+
+struct ValidationOptions {
+  /// Require contiguous processor intervals (the paper's setting).
+  bool require_contiguous{true};
+  /// Reject schedules longer than this bound (<= 0 disables the check).
+  double makespan_bound{0.0};
+};
+
+/// Checks that `schedule` is a complete, feasible schedule of `instance`:
+///   * every task placed exactly once on >= 1 processors of the machine,
+///   * recorded duration equals t_i(procs) from the instance profile,
+///   * no two tasks share a processor at the same time,
+///   * contiguity when requested, makespan bound when requested.
+[[nodiscard]] ValidationReport validate_schedule(const Schedule& schedule,
+                                                 const Instance& instance,
+                                                 const ValidationOptions& options = {});
+
+/// Convenience: true iff fully valid (contiguous, no bound).
+[[nodiscard]] bool is_valid_schedule(const Schedule& schedule, const Instance& instance);
+
+}  // namespace malsched

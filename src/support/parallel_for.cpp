@@ -1,0 +1,54 @@
+#include "support/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace malsched {
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  if (count == 0) return;
+  unsigned workers = threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, count));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    // Dynamic chunking: grab small index blocks so irregular per-instance
+    // solve times still balance across the pool.
+    constexpr std::size_t kChunk = 4;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kChunk);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + kChunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!error) error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace malsched

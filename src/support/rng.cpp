@@ -1,0 +1,97 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace malsched {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits give a uniform dyadic rational in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return lo + static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  const double v = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * std::numbers::pi * v;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::log_uniform(double lo, double hi) noexcept {
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+bool Rng::bernoulli(double p) noexcept { return next_double() < p; }
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double pick = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace malsched

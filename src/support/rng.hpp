@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Deterministic pseudo-random number generation for reproducible experiments.
+///
+/// Every workload generator and benchmark in this repository takes an explicit
+/// seed; rerunning any experiment with the same seed reproduces it bit-for-bit
+/// (the generator is our own xoshiro256** so results do not depend on the
+/// standard library's unspecified distributions).
+namespace malsched {
+
+/// Small, fast, high-quality PRNG (xoshiro256** seeded via SplitMix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Log-uniform value in [lo, hi); both bounds must be positive.
+  [[nodiscard]] double log_uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Picks an index in [0, weights.size()) proportionally to `weights`.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Returns a uniformly random permutation of {0, .., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an unrelated child seed (for forking per-instance generators).
+  [[nodiscard]] std::uint64_t fork_seed() noexcept { return next_u64(); }
+
+ private:
+  std::uint64_t state_[4]{};
+  bool has_cached_normal_{false};
+  double cached_normal_{0.0};
+};
+
+}  // namespace malsched

@@ -1,0 +1,79 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace malsched {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Summary::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string Summary::str() const {
+  std::ostringstream out;
+  out.precision(4);
+  out << mean() << " +- " << stddev() << " [" << min() << ", " << max() << "] (n=" << count()
+      << ")";
+  return out.str();
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace malsched

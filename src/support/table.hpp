@@ -1,0 +1,41 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Plain-text table rendering used by benches and examples to print
+/// paper-style result rows.
+namespace malsched {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// through `cell()`.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-padded columns.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+[[nodiscard]] std::string cell(double value, int digits = 3);
+
+/// Formats an integer cell.
+[[nodiscard]] std::string cell(long long value);
+[[nodiscard]] inline std::string cell(int value) { return cell(static_cast<long long>(value)); }
+[[nodiscard]] inline std::string cell(std::size_t value) {
+  return cell(static_cast<long long>(value));
+}
+
+}  // namespace malsched

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+
+/// Synthetic workload families for the evaluation harness.
+///
+/// The paper reports no benchmark suite ("experiments are currently under
+/// progress"), so the families below are designed to span the regimes the
+/// analysis distinguishes: load (canonical area vs mu*m), task granularity
+/// (S1/S2/S3 population), and speedup behavior. Every generator takes an
+/// explicit seed and produces valid monotonic instances.
+namespace malsched {
+
+enum class WorkloadFamily {
+  kUniform,      ///< moderate tasks, mixed Amdahl/power-law/comm profiles
+  kBimodal,      ///< many small sequential tasks + a few huge parallel ones
+  kHeavyTail,    ///< Pareto-like sequential times
+  kStairs,       ///< geometric size ladder (stresses the list levels)
+  kPackedOpt1,   ///< built from a packed unit-height schedule: OPT <= 1
+  kSequentialOnly,  ///< no parallelism available at all
+};
+
+[[nodiscard]] std::string to_string(WorkloadFamily family);
+
+/// All families, for parameterized sweeps.
+[[nodiscard]] std::vector<WorkloadFamily> all_workload_families();
+
+struct GeneratorOptions {
+  int tasks{50};
+  int machines{32};
+  double seq_time_lo{0.5};
+  double seq_time_hi{8.0};
+};
+
+/// Draws an instance of the given family.
+[[nodiscard]] Instance generate_instance(WorkloadFamily family, const GeneratorOptions& options,
+                                         std::uint64_t seed);
+
+/// Recursive guillotine partition of the m x [0,1] time-processor rectangle;
+/// each cell (p processors x h time) becomes a task with profile
+/// t(q) = h * (p/q)^beta (beta in (0,1], work non-decreasing). The partition
+/// itself is a feasible schedule of length 1, so OPT <= 1 *by construction*
+/// -- the workhorse for guarantee experiments and the m_mu estimator.
+/// `target_tasks` <= 0 picks roughly 2*m cells.
+[[nodiscard]] Instance packed_instance(int machines, std::uint64_t seed, int target_tasks = 0);
+
+}  // namespace malsched

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+
+/// The paper's motivating application: adaptive-mesh ocean circulation
+/// simulation (Blayo, Debreu, Mounie & Trystram [3] schedule Atlantic-ocean
+/// model blocks as malleable tasks).
+///
+/// The original meshes and traces are not available, so we synthesize a
+/// workload with the same structure (DESIGN.md, substitutions): a quadtree
+/// refinement over a base ocean grid produces blocks; a block's work grows
+/// with its cell count, and its parallel profile follows the classic
+/// compute/halo-exchange split -- t(p) = W/p + halo * perimeter * (p-1) --
+/// monotonized. Refined (storm/eddy) regions yield many small blocks,
+/// calm regions a few large ones, reproducing the size mix that motivates
+/// malleable scheduling in the paper's introduction.
+namespace malsched {
+
+struct OceanOptions {
+  int machines{64};
+  int base_grid{8};        ///< base_grid x base_grid coarse blocks
+  int max_refine_level{3}; ///< quadtree depth
+  double refine_prob{0.35};///< probability a block splits, per level
+  double cell_work{1.0e-3};///< seconds of sequential work per cell
+  int cells_per_block{32}; ///< coarse block resolution (cells per side)
+  double halo_cost{2.0e-4};///< per-boundary-cell exchange cost per extra proc
+};
+
+/// Builds the block workload for one simulation step.
+[[nodiscard]] Instance ocean_instance(const OceanOptions& options, std::uint64_t seed);
+
+}  // namespace malsched

@@ -1,0 +1,184 @@
+// Tests for src/core/canonical: canonical allotments, Properties 1 and 2,
+// the canonical area W of Definition 1, and the regime threshold.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/canonical.hpp"
+#include "core/inefficiency.hpp"
+#include "model/speedup_models.hpp"
+#include "support/math_utils.hpp"
+#include "workload/generators.hpp"
+
+namespace malsched {
+namespace {
+
+TEST(Canonical, MinimalityOnKnownProfile) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0, 2.2, 1.8, 1.5});
+  const Instance instance(4, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 2.0);
+  ASSERT_TRUE(allotment.feasible);
+  EXPECT_EQ(allotment.procs[0], 3);  // t(2)=2.2 > 2.0, t(3)=1.8 <= 2.0
+  EXPECT_DOUBLE_EQ(allotment.total_work, 3 * 1.8);
+  EXPECT_EQ(allotment.total_procs, 3);
+}
+
+TEST(Canonical, InfeasibleWhenDeadlineUnreachable) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0, 2.2});
+  const Instance instance(2, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 1.0);
+  EXPECT_FALSE(allotment.feasible);
+  EXPECT_TRUE(certified_infeasible(instance, allotment));
+}
+
+TEST(Canonical, CertifiedInfeasibleByArea) {
+  // Ten unit sequential tasks on 2 machines: canonical work 10 > 2 * 2.
+  std::vector<MalleableTask> tasks;
+  for (int i = 0; i < 10; ++i) tasks.emplace_back(sequential_profile(1.0, 2));
+  const Instance instance(2, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 2.0);
+  ASSERT_TRUE(allotment.feasible);
+  EXPECT_TRUE(certified_infeasible(instance, allotment));
+  // At deadline 5 the area bound passes.
+  EXPECT_FALSE(certified_infeasible(instance, canonical_allotment(instance, 5.0)));
+}
+
+class CanonicalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadFamily, int, double>> {};
+
+TEST_P(CanonicalPropertyTest, Property1HoldsForAllTasks) {
+  const auto [family, seed, deadline] = GetParam();
+  GeneratorOptions options;
+  options.tasks = 40;
+  options.machines = 24;
+  const auto instance = generate_instance(family, options, static_cast<std::uint64_t>(seed));
+  const auto allotment = canonical_allotment(instance, deadline);
+  if (!allotment.feasible) GTEST_SKIP() << "deadline unreachable for this family";
+  for (int i = 0; i < instance.size(); ++i) {
+    const int gamma = allotment.procs[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(property1_holds(instance.task(i), gamma, deadline))
+        << "task " << i << " gamma " << gamma;
+    // Minimality re-checked directly.
+    EXPECT_TRUE(leq(instance.task(i).time(gamma), deadline));
+    if (gamma > 1) EXPECT_FALSE(leq(instance.task(i).time(gamma - 1), deadline));
+  }
+}
+
+TEST_P(CanonicalPropertyTest, CanonicalAreaIsBoundedAndConsistent) {
+  const auto [family, seed, deadline] = GetParam();
+  GeneratorOptions options;
+  options.tasks = 40;
+  options.machines = 24;
+  const auto instance = generate_instance(family, options, static_cast<std::uint64_t>(seed));
+  const auto allotment = canonical_allotment(instance, deadline);
+  if (!allotment.feasible) GTEST_SKIP();
+  const double area = canonical_area(instance, allotment);
+  EXPECT_TRUE(geq(area, 0.0));
+  EXPECT_TRUE(leq(area, allotment.total_work));
+  // The stacked prefix never exceeds the full m x (max canonical time) box.
+  double tallest = 0.0;
+  for (int i = 0; i < instance.size(); ++i) {
+    tallest = std::max(tallest,
+                       instance.task(i).time(allotment.procs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_TRUE(leq(area, tallest * instance.machines()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CanonicalPropertyTest,
+    ::testing::Combine(::testing::Values(WorkloadFamily::kUniform, WorkloadFamily::kBimodal,
+                                         WorkloadFamily::kHeavyTail,
+                                         WorkloadFamily::kPackedOpt1),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(2.0, 6.0, 20.0)));
+
+TEST(Canonical, Property2OnPackedInstances) {
+  // Packed instances admit a schedule of length 1 by construction, so the
+  // canonical work at deadline 1 may not exceed m (Property 2).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const int machines : {4, 8, 16}) {
+      const auto instance = packed_instance(machines, seed);
+      const auto allotment = canonical_allotment(instance, 1.0);
+      ASSERT_TRUE(allotment.feasible) << "seed " << seed;
+      EXPECT_TRUE(leq(allotment.total_work, static_cast<double>(machines)))
+          << "Property 2 violated at seed " << seed << " m " << machines;
+      EXPECT_FALSE(certified_infeasible(instance, allotment));
+    }
+  }
+}
+
+TEST(Canonical, AreaOfExactFitStacking) {
+  // Two tasks of canonical width 2 on m=4: stacking fills exactly the first
+  // 4 processors, so W equals the total canonical work.
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{3.0, 1.9, 1.9, 1.9});
+  tasks.emplace_back(std::vector<double>{3.0, 1.8, 1.8, 1.8});
+  const Instance instance(4, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 2.0);
+  ASSERT_TRUE(allotment.feasible);
+  EXPECT_EQ(allotment.total_procs, 4);
+  EXPECT_NEAR(canonical_area(instance, allotment), 2 * 1.9 + 2 * 1.8, 1e-12);
+}
+
+TEST(Canonical, AreaTruncatesOverflowingTask) {
+  // Widths 2 then 3 on m=4: the second task contributes only 2 of its 3
+  // processors to the first-m area (Definition 1's fractional slice).
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{3.0, 1.9, 1.9, 1.9});
+  tasks.emplace_back(std::vector<double>{5.2, 2.7, 1.8, 1.8});
+  const Instance instance(4, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 2.0);
+  ASSERT_TRUE(allotment.feasible);
+  ASSERT_EQ(allotment.procs[0], 2);
+  ASSERT_EQ(allotment.procs[1], 3);
+  EXPECT_NEAR(canonical_area(instance, allotment), 2 * 1.9 + 2 * 1.8, 1e-12);
+}
+
+TEST(Canonical, AreaWhenMachineNeverFills) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(0.5, 8));
+  const Instance instance(8, std::move(tasks));
+  const auto allotment = canonical_allotment(instance, 1.0);
+  EXPECT_NEAR(canonical_area(instance, allotment), 0.5, 1e-12);
+}
+
+TEST(Canonical, ThresholdUsesMu) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(1.0, 10));
+  const Instance instance(10, std::move(tasks));
+  EXPECT_NEAR(area_threshold(instance, 2.0), kMu * 10 * 2.0, 1e-12);
+}
+
+// ------------------------------------------------------------- inefficiency
+
+TEST(Inefficiency, AtLeastOneUnderMonotonicity) {
+  const MalleableTask task(power_law_profile(8.0, 0.8, 16));
+  for (int gamma = 1; gamma <= 16; ++gamma) {
+    for (int procs = gamma; procs <= 16; ++procs) {
+      EXPECT_TRUE(geq(inefficiency_factor(task, procs, gamma), 1.0));
+    }
+  }
+}
+
+TEST(Inefficiency, ExactValueOnKnownProfile) {
+  const MalleableTask task(std::vector<double>{4.0, 2.5});
+  EXPECT_NEAR(inefficiency_factor(task, 2, 1), 5.0 / 4.0, 1e-12);
+  EXPECT_THROW(inefficiency_factor(task, 1, 2), std::invalid_argument);
+}
+
+TEST(Inefficiency, SetAggregation) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0, 2.5});
+  tasks.emplace_back(std::vector<double>{2.0, 1.5});
+  const Instance instance(2, std::move(tasks));
+  const std::vector<int> ids{0, 1};
+  const std::vector<int> procs{2, 2};
+  const std::vector<int> gamma{1, 1};
+  EXPECT_NEAR(set_inefficiency(instance, ids, procs, gamma), (5.0 + 3.0) / (4.0 + 2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace malsched

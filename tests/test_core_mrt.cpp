@@ -1,0 +1,184 @@
+// End-to-end tests of the combined sqrt(3) scheduler (Theorem 3): guarantee,
+// gap-freedom, option toggles, and the m_mu estimator.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mmu.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "model/lower_bounds.hpp"
+#include "sched/validate.hpp"
+#include "support/math_utils.hpp"
+#include "support/statistics.hpp"
+#include "workload/generators.hpp"
+#include "workload/ocean.hpp"
+#include "workload/trace.hpp"
+
+namespace malsched {
+namespace {
+
+class MrtEndToEndTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadFamily, int, int>> {};
+
+TEST_P(MrtEndToEndTest, GuaranteeHolds) {
+  const auto [family, machines, seed] = GetParam();
+  GeneratorOptions options;
+  options.tasks = machines * 2;
+  options.machines = machines;
+  const auto instance = generate_instance(family, options, static_cast<std::uint64_t>(seed));
+
+  MrtOptions mrt;
+  mrt.search.epsilon = 0.02;
+  const auto result = mrt_schedule(instance, mrt);
+
+  const auto report = validate_schedule(result.schedule, instance);
+  ASSERT_TRUE(report.ok) << report.str();
+  EXPECT_EQ(result.gaps, 0) << "the paper's theorems rule out gaps";
+  EXPECT_TRUE(geq(result.makespan, makespan_lower_bound(instance)));
+  EXPECT_TRUE(leq(result.ratio, kSqrt3 * (1.0 + mrt.search.epsilon) + 1e-9))
+      << "ratio " << result.ratio;
+  // Branch accounting covers every dual iteration.
+  int counted = 0;
+  for (const int count : result.branch_counts) counted += count;
+  EXPECT_EQ(counted, result.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MrtEndToEndTest,
+    ::testing::Combine(::testing::Values(WorkloadFamily::kUniform, WorkloadFamily::kBimodal,
+                                         WorkloadFamily::kHeavyTail, WorkloadFamily::kStairs,
+                                         WorkloadFamily::kPackedOpt1,
+                                         WorkloadFamily::kSequentialOnly),
+                       ::testing::Values(4, 16, 48), ::testing::Values(1, 2)));
+
+TEST(MrtScheduler, SmallMachineCountsUseTheMalleableListSafetyNet) {
+  // m <= 6: even alone, the malleable list branch certifies sqrt(3).
+  for (const int machines : {1, 2, 3, 5, 6}) {
+    GeneratorOptions options;
+    options.tasks = 12;
+    options.machines = machines;
+    const auto instance = generate_instance(WorkloadFamily::kUniform, options, 9);
+    MrtOptions mrt;
+    mrt.enable_two_shelf = false;
+    mrt.enable_canonical_list = false;
+    const auto result = mrt_schedule(instance, mrt);
+    EXPECT_EQ(result.gaps, 0);
+    EXPECT_TRUE(leq(result.ratio, kSqrt3 * 1.02 + 1e-9));
+  }
+}
+
+TEST(MrtScheduler, PackedInstancesStayNearOne) {
+  // OPT <= 1 by construction, so the absolute makespan must be <= sqrt(3)
+  // * (1 + eps) and the search's final guess must be close to 1 or below.
+  Summary ratios;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto instance = packed_instance(16, seed);
+    const auto result = mrt_schedule(instance);
+    EXPECT_TRUE(leq(result.makespan, kSqrt3 * 1.02));
+    ratios.add(result.makespan);  // vs the known OPT bound of 1
+  }
+  EXPECT_LE(ratios.max(), kSqrt3 * 1.02);
+}
+
+TEST(MrtScheduler, PickBestBranchNeverWorse) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorOptions options;
+    options.tasks = 24;
+    options.machines = 12;
+    const auto instance =
+        generate_instance(WorkloadFamily::kUniform, options, seed);
+    MrtOptions fast;
+    MrtOptions best;
+    best.pick_best_branch = true;
+    const auto fast_result = mrt_schedule(instance, fast);
+    const auto best_result = mrt_schedule(instance, best);
+    EXPECT_TRUE(leq(best_result.makespan, fast_result.makespan * (1.0 + 1e-9)));
+  }
+}
+
+TEST(MrtScheduler, CompactionNeverHurts) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorOptions options;
+    options.tasks = 30;
+    options.machines = 16;
+    const auto instance = generate_instance(WorkloadFamily::kBimodal, options, seed);
+    MrtOptions with;
+    MrtOptions without;
+    without.use_compaction = false;
+    const auto with_result = mrt_schedule(instance, with);
+    const auto without_result = mrt_schedule(instance, without);
+    EXPECT_TRUE(leq(with_result.makespan, without_result.makespan * (1.0 + 1e-9)));
+  }
+}
+
+TEST(MrtScheduler, WorksOnOceanWorkload) {
+  OceanOptions ocean;
+  ocean.machines = 32;
+  const auto instance = ocean_instance(ocean, 11);
+  const auto result = mrt_schedule(instance);
+  EXPECT_EQ(result.gaps, 0);
+  EXPECT_TRUE(leq(result.ratio, kSqrt3 * 1.02 + 1e-9));
+  EXPECT_TRUE(is_valid_schedule(result.schedule, instance));
+}
+
+TEST(MrtScheduler, WorksOnTraceWorkload) {
+  TraceOptions trace;
+  trace.machines = 64;
+  trace.jobs = 50;
+  const auto instance = trace_snapshot(trace, 13);
+  const auto result = mrt_schedule(instance);
+  EXPECT_EQ(result.gaps, 0);
+  EXPECT_TRUE(leq(result.ratio, kSqrt3 * 1.02 + 1e-9));
+}
+
+TEST(MrtScheduler, SingleTaskInstance) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0, 2.5, 2.0, 1.75}, "only");
+  const Instance instance(4, std::move(tasks));
+  const auto result = mrt_schedule(instance);
+  // One task: optimum is t(m) (monotone) and the scheduler must find it.
+  EXPECT_NEAR(result.makespan, 1.75, 1e-9);
+}
+
+TEST(MrtScheduler, BranchNamesAreDistinct) {
+  for (int b = 0; b < kDualBranchCount; ++b) {
+    for (int c = b + 1; c < kDualBranchCount; ++c) {
+      EXPECT_NE(to_string(static_cast<DualBranch>(b)), to_string(static_cast<DualBranch>(c)));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- m_mu
+
+TEST(Mmu, EstimatorRunsAndStaysInRange) {
+  MmuEstimateOptions options;
+  options.trials_per_m = 25;
+  options.scan_limit = 12;
+  const InstanceFactory factory = [](int machines, std::uint64_t seed) {
+    return packed_instance(machines, seed);
+  };
+  const auto point = estimate_mmu(kMu, factory, options);
+  EXPECT_EQ(point.kstar, 6);
+  EXPECT_EQ(point.reallocation_width, 4);
+  EXPECT_GE(point.empirical_m, 2);
+  EXPECT_LE(point.empirical_m, options.scan_limit + 1);
+}
+
+TEST(Mmu, CurveCoversGrid) {
+  MmuEstimateOptions options;
+  options.trials_per_m = 10;
+  options.scan_limit = 8;
+  const InstanceFactory factory = [](int machines, std::uint64_t seed) {
+    return packed_instance(machines, seed);
+  };
+  const auto curve = mmu_curve({0.78, kMu, 0.95}, factory, options);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& point : curve) {
+    EXPECT_GE(point.empirical_m, 2);
+    EXPECT_GE(point.kstar, 1);
+  }
+}
+
+}  // namespace
+}  // namespace malsched

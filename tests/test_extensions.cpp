@@ -1,0 +1,215 @@
+// Tests for the extension features: branch-and-bound knapsack, Best Fit
+// packing, the makespan local search, and end-to-end edge cases (empty
+// instances, single machines).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/mrt_scheduler.hpp"
+#include "knapsack/knapsack.hpp"
+#include "model/speedup_models.hpp"
+#include "packing/first_fit.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/local_search.hpp"
+#include "sched/validate.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace malsched {
+namespace {
+
+// -------------------------------------------------------- branch and bound
+
+class BranchAndBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BranchAndBoundTest, MatchesExactDp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 4200);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 18));
+    std::vector<KnapsackItem> items(static_cast<std::size_t>(n));
+    for (auto& item : items) {
+      item.weight = rng.uniform_int(0, 30);
+      item.profit = rng.uniform_int(0, 50);
+    }
+    const long long capacity = rng.uniform_int(0, 120);
+    const auto bb = knapsack_branch_and_bound(items, capacity);
+    const auto dp = knapsack_exact(items, capacity);
+    EXPECT_EQ(bb.profit, dp.profit);
+    EXPECT_LE(bb.weight, capacity);
+    // Totals consistent with the selection.
+    long long weight = 0;
+    long long profit = 0;
+    for (const int i : bb.items) {
+      weight += items[static_cast<std::size_t>(i)].weight;
+      profit += items[static_cast<std::size_t>(i)].profit;
+    }
+    EXPECT_EQ(weight, bb.weight);
+    EXPECT_EQ(profit, bb.profit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchAndBoundTest, ::testing::Values(1, 2, 3));
+
+TEST(BranchAndBound, HandlesHugeCapacityWhereDpCannot) {
+  // Capacity beyond the DP memory guard: B&B is O(n) memory.
+  std::vector<KnapsackItem> items;
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    items.push_back({rng.uniform_int(1, 1LL << 33), rng.uniform_int(1, 100)});
+  }
+  const long long capacity = 1LL << 34;
+  EXPECT_THROW(knapsack_exact(items, capacity), std::length_error);
+  const auto bb = knapsack_branch_and_bound(items, capacity);
+  EXPECT_LE(bb.weight, capacity);
+  EXPECT_GT(bb.profit, 0);
+}
+
+TEST(BranchAndBound, NodeBudgetEnforced) {
+  // Dense correlated instance with a tiny budget must trip the guard.
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 40; ++i) items.push_back({100 + i, 100 + i});
+  EXPECT_THROW(knapsack_branch_and_bound(items, 2000, /*node_budget=*/10),
+               std::runtime_error);
+}
+
+TEST(BranchAndBound, EmptyAndZeroCapacity) {
+  EXPECT_EQ(knapsack_branch_and_bound({}, 10).profit, 0);
+  const std::vector<KnapsackItem> items{{5, 7}};
+  EXPECT_EQ(knapsack_branch_and_bound(items, 0).profit, 0);
+}
+
+// ----------------------------------------------------------------- best fit
+
+TEST(BestFit, KnownExample) {
+  // capacity 1: {0.6, 0.5, 0.3}: BF puts 0.3 with 0.6 (fuller bin), FF would
+  // also -- distinguish with {0.5, 0.6, 0.38}: FF puts 0.38 with 0.5
+  // (first), BF with 0.6 (fullest).
+  const std::vector<double> sizes{0.5, 0.6, 0.38};
+  const auto ff = first_fit(sizes, 1.0);
+  const auto bf = best_fit(sizes, 1.0);
+  ASSERT_EQ(ff.bin_count(), 2);
+  ASSERT_EQ(bf.bin_count(), 2);
+  EXPECT_NEAR(ff.loads[0], 0.88, 1e-12);
+  EXPECT_NEAR(bf.loads[1], 0.98, 1e-12);
+}
+
+TEST(BestFit, ValidOnRandomSweep) {
+  Rng rng(505);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> sizes(static_cast<std::size_t>(rng.uniform_int(1, 50)));
+    for (auto& s : sizes) s = rng.uniform(0.05, 1.0);
+    for (const auto* which : {"bf", "bfd"}) {
+      const auto packing =
+          which[1] == 'f' ? best_fit(sizes, 1.0) : best_fit_decreasing(sizes, 1.0);
+      std::size_t placed = 0;
+      for (const auto& bin : packing.bins) placed += bin.size();
+      EXPECT_EQ(placed, sizes.size());
+      for (const double load : packing.loads) EXPECT_TRUE(leq(load, 1.0));
+    }
+  }
+}
+
+TEST(BestFit, OversizedItemThrows) {
+  EXPECT_THROW(best_fit(std::vector<double>{1.5}, 1.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- local search
+
+TEST(LocalSearch, NeverWorseAndValid) {
+  Rng rng(606);
+  for (int trial = 0; trial < 15; ++trial) {
+    GeneratorOptions options;
+    options.tasks = 20;
+    options.machines = 10;
+    const auto instance =
+        generate_instance(WorkloadFamily::kUniform, options, rng.fork_seed());
+    // Deliberately bad seed schedule: random allotments, random order.
+    std::vector<int> allotment(static_cast<std::size_t>(instance.size()));
+    for (auto& p : allotment) p = static_cast<int>(rng.uniform_int(1, instance.machines()));
+    std::vector<int> order(static_cast<std::size_t>(instance.size()));
+    std::iota(order.begin(), order.end(), 0);
+    const auto seed_schedule = list_schedule(instance, allotment, order);
+
+    const auto result = improve_schedule(instance, seed_schedule);
+    EXPECT_TRUE(is_valid_schedule(result.schedule, instance));
+    EXPECT_TRUE(leq(result.makespan, seed_schedule.makespan()));
+    EXPECT_EQ(result.improved, result.makespan < seed_schedule.makespan() - kAbsEps);
+  }
+}
+
+TEST(LocalSearch, FixesPathologicalAllotment) {
+  // One perfectly parallel task forced to width 1 dominates the makespan;
+  // the search must widen it.
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(linear_profile(8.0, 8), "wide");
+  for (int i = 0; i < 4; ++i) tasks.emplace_back(sequential_profile(0.5, 8));
+  const Instance instance(8, std::move(tasks));
+  const std::vector<int> allotment{1, 1, 1, 1, 1};
+  const std::vector<int> order{0, 1, 2, 3, 4};
+  const auto seed_schedule = list_schedule(instance, allotment, order);
+  ASSERT_NEAR(seed_schedule.makespan(), 8.0, 1e-9);
+  const auto result = improve_schedule(instance, seed_schedule);
+  EXPECT_TRUE(result.improved);
+  EXPECT_LT(result.makespan, 4.0);
+}
+
+TEST(LocalSearch, RespectsRoundBudget) {
+  GeneratorOptions options;
+  options.tasks = 24;
+  options.machines = 12;
+  const auto instance = generate_instance(WorkloadFamily::kBimodal, options, 3);
+  std::vector<int> allotment(static_cast<std::size_t>(instance.size()), 1);
+  std::vector<int> order(static_cast<std::size_t>(instance.size()));
+  std::iota(order.begin(), order.end(), 0);
+  const auto seed_schedule = list_schedule(instance, allotment, order);
+  LocalSearchOptions budget;
+  budget.max_rounds = 1;
+  const auto result = improve_schedule(instance, seed_schedule, budget);
+  EXPECT_LE(result.rounds, 1);
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(EdgeCases, EmptyInstanceSolves) {
+  const Instance instance(4, {});
+  const auto result = mrt_schedule(instance);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.gaps, 0);
+  EXPECT_TRUE(is_valid_schedule(result.schedule, instance));
+}
+
+TEST(EdgeCases, SingleMachine) {
+  GeneratorOptions options;
+  options.tasks = 10;
+  options.machines = 1;
+  const auto instance = generate_instance(WorkloadFamily::kUniform, options, 5);
+  const auto result = mrt_schedule(instance);
+  // On one machine the optimum is the total sequential time.
+  EXPECT_NEAR(result.makespan, instance.total_sequential_work(), 1e-9);
+  EXPECT_EQ(result.gaps, 0);
+}
+
+TEST(EdgeCases, IdenticalTasksSaturateCleanly) {
+  std::vector<MalleableTask> tasks;
+  for (int i = 0; i < 16; ++i) tasks.emplace_back(sequential_profile(1.0, 16));
+  const Instance instance(16, std::move(tasks));
+  const auto result = mrt_schedule(instance);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);  // one task per processor
+  EXPECT_NEAR(result.ratio, 1.0, 0.02);
+}
+
+TEST(EdgeCases, VeryWideMachineFewTasks) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(power_law_profile(10.0, 0.9, 512), "a");
+  tasks.emplace_back(power_law_profile(8.0, 0.9, 512), "b");
+  const Instance instance(512, std::move(tasks));
+  const auto result = mrt_schedule(instance);
+  EXPECT_EQ(result.gaps, 0);
+  EXPECT_TRUE(leq(result.ratio, kSqrt3 * 1.02 + 1e-9));
+}
+
+}  // namespace
+}  // namespace malsched

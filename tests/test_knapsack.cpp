@@ -1,0 +1,209 @@
+// Tests for src/knapsack: the exact DP, the FPTAS, the dual (min) knapsack
+// and the greedy bound, cross-checked against brute force.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+#include "support/rng.hpp"
+
+namespace malsched {
+namespace {
+
+std::vector<KnapsackItem> random_items(Rng& rng, int count, long long max_weight,
+                                       long long max_profit) {
+  std::vector<KnapsackItem> items(static_cast<std::size_t>(count));
+  for (auto& item : items) {
+    item.weight = rng.uniform_int(0, max_weight);
+    item.profit = rng.uniform_int(0, max_profit);
+  }
+  return items;
+}
+
+long long selection_weight(const std::vector<KnapsackItem>& items,
+                           const KnapsackSelection& sel) {
+  long long total = 0;
+  for (const int i : sel.items) total += items[static_cast<std::size_t>(i)].weight;
+  return total;
+}
+
+long long selection_profit(const std::vector<KnapsackItem>& items,
+                           const KnapsackSelection& sel) {
+  long long total = 0;
+  for (const int i : sel.items) total += items[static_cast<std::size_t>(i)].profit;
+  return total;
+}
+
+/// Brute-force optimum of the *dual* problem: min weight with profit >= demand.
+std::optional<long long> brute_min_weight(const std::vector<KnapsackItem>& items,
+                                          long long demand) {
+  std::optional<long long> best;
+  const auto n = items.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    long long weight = 0;
+    long long profit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) {
+        weight += items[i].weight;
+        profit += items[i].profit;
+      }
+    }
+    if (profit >= demand && (!best || weight < *best)) best = weight;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------ exact max DP
+
+class KnapsackRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackRandomTest, ExactMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    const auto items = random_items(rng, n, 20, 30);
+    const long long capacity = rng.uniform_int(0, 60);
+    const auto exact = knapsack_exact(items, capacity);
+    const auto brute = knapsack_brute_force(items, capacity);
+    EXPECT_EQ(exact.profit, brute.profit);
+    EXPECT_LE(exact.weight, capacity);
+    // Reported totals must match the actual selection.
+    EXPECT_EQ(selection_weight(items, exact), exact.weight);
+    EXPECT_EQ(selection_profit(items, exact), exact.profit);
+  }
+}
+
+TEST_P(KnapsackRandomTest, FptasWithinFactor) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (const double eps : {0.5, 0.25, 0.1}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const int n = static_cast<int>(rng.uniform_int(1, 12));
+      const auto items = random_items(rng, n, 25, 500);
+      const long long capacity = rng.uniform_int(0, 80);
+      const auto approx = knapsack_fptas(items, capacity, eps);
+      const auto brute = knapsack_brute_force(items, capacity);
+      EXPECT_LE(approx.weight, capacity);
+      EXPECT_GE(static_cast<double>(approx.profit) + 1e-9,
+                (1.0 - eps) * static_cast<double>(brute.profit))
+          << "eps=" << eps;
+    }
+  }
+}
+
+TEST_P(KnapsackRandomTest, GreedyIsHalfOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    const auto items = random_items(rng, n, 20, 100);
+    const long long capacity = rng.uniform_int(1, 60);
+    const auto greedy = knapsack_greedy(items, capacity);
+    const auto brute = knapsack_brute_force(items, capacity);
+    EXPECT_LE(greedy.weight, capacity);
+    EXPECT_GE(2 * greedy.profit, brute.profit);
+  }
+}
+
+TEST_P(KnapsackRandomTest, MinKnapsackMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 11));
+    const auto items = random_items(rng, n, 20, 15);
+    const long long demand = rng.uniform_int(0, 70);
+    const auto dp = min_knapsack_exact(items, demand);
+    const auto brute = brute_min_weight(items, demand);
+    ASSERT_EQ(dp.has_value(), brute.has_value());
+    if (dp) {
+      EXPECT_EQ(dp->weight, *brute);
+      EXPECT_GE(selection_profit(items, *dp), demand);
+      EXPECT_EQ(selection_weight(items, *dp), dp->weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------------- edges
+
+TEST(Knapsack, EmptyAndZeroCapacity) {
+  EXPECT_EQ(knapsack_exact({}, 10).profit, 0);
+  const std::vector<KnapsackItem> items{{5, 7}};
+  EXPECT_EQ(knapsack_exact(items, 0).profit, 0);
+  EXPECT_EQ(knapsack_exact(items, -1).profit, 0);
+  EXPECT_EQ(knapsack_exact(items, 5).profit, 7);
+}
+
+TEST(Knapsack, ZeroWeightItemsAlwaysFit) {
+  const std::vector<KnapsackItem> items{{0, 3}, {0, 4}, {10, 100}};
+  const auto sel = knapsack_exact(items, 0);
+  EXPECT_EQ(sel.profit, 7);
+}
+
+TEST(Knapsack, RejectsNegativeInputs) {
+  const std::vector<KnapsackItem> bad{{-1, 2}};
+  EXPECT_THROW(knapsack_exact(bad, 5), std::invalid_argument);
+  const std::vector<KnapsackItem> bad2{{1, -2}};
+  EXPECT_THROW(knapsack_exact(bad2, 5), std::invalid_argument);
+}
+
+TEST(Knapsack, ExactMemoryGuardThrows) {
+  const std::vector<KnapsackItem> items(4, KnapsackItem{1, 1});
+  EXPECT_THROW(knapsack_exact(items, 1LL << 40), std::length_error);
+}
+
+TEST(Knapsack, FptasRejectsBadEps) {
+  const std::vector<KnapsackItem> items{{1, 1}};
+  EXPECT_THROW(knapsack_fptas(items, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(knapsack_fptas(items, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Knapsack, BruteForceLimit) {
+  const std::vector<KnapsackItem> items(25, KnapsackItem{1, 1});
+  EXPECT_THROW(knapsack_brute_force(items, 5), std::invalid_argument);
+}
+
+TEST(MinKnapsack, ZeroDemandIsEmpty) {
+  const std::vector<KnapsackItem> items{{3, 4}};
+  const auto sel = min_knapsack_exact(items, 0);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_TRUE(sel->items.empty());
+  EXPECT_EQ(sel->weight, 0);
+}
+
+TEST(MinKnapsack, InfeasibleDemand) {
+  const std::vector<KnapsackItem> items{{3, 4}, {2, 5}};
+  EXPECT_FALSE(min_knapsack_exact(items, 10).has_value());
+}
+
+TEST(MinKnapsack, ApproxKeepsHardConstraint) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    const auto items = random_items(rng, n, 20, 15);
+    long long total_profit = 0;
+    for (const auto& item : items) total_profit += item.profit;
+    const long long demand = rng.uniform_int(0, total_profit);
+    const auto sel = min_knapsack_approx(items, demand, 0.25);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_GE(selection_profit(items, *sel), demand);
+  }
+}
+
+TEST(MinKnapsack, ApproxRejectsBadEps) {
+  const std::vector<KnapsackItem> items{{1, 1}};
+  EXPECT_THROW(min_knapsack_approx(items, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Knapsack, SelectionIndicesSortedAndUnique) {
+  Rng rng(888);
+  const auto items = random_items(rng, 12, 10, 10);
+  const auto sel = knapsack_exact(items, 30);
+  for (std::size_t i = 1; i < sel.items.size(); ++i) {
+    EXPECT_LT(sel.items[i - 1], sel.items[i]);
+  }
+}
+
+}  // namespace
+}  // namespace malsched

@@ -1,0 +1,297 @@
+// Tests for src/model: the malleable task abstraction, monotonicity
+// enforcement, speedup models, instances, serialization and lower bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/instance.hpp"
+#include "model/instance_io.hpp"
+#include "model/lower_bounds.hpp"
+#include "model/malleable_task.hpp"
+#include "model/monotonize.hpp"
+#include "model/speedup_models.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+
+namespace malsched {
+namespace {
+
+// -------------------------------------------------------------- validation
+
+TEST(MalleableTask, AcceptsMonotonicProfile) {
+  EXPECT_NO_THROW(MalleableTask({4.0, 2.5, 2.0, 1.8}));
+}
+
+TEST(MalleableTask, RejectsEmptyProfile) {
+  EXPECT_THROW(MalleableTask({}), std::invalid_argument);
+}
+
+TEST(MalleableTask, RejectsNonPositiveTimes) {
+  EXPECT_THROW(MalleableTask({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(MalleableTask({-1.0}), std::invalid_argument);
+}
+
+TEST(MalleableTask, RejectsIncreasingTime) {
+  // t(2) > t(1): more processors may never slow the task down.
+  EXPECT_THROW(MalleableTask({1.0, 1.5}), std::invalid_argument);
+}
+
+TEST(MalleableTask, RejectsSuperLinearSpeedup) {
+  // t = {4, 1}: work drops from 4 to 2 -- super-linear speedup.
+  EXPECT_THROW(MalleableTask({4.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MalleableTask, ValidateReportsProblemLocation) {
+  const auto problem = MalleableTask::validate({4.0, 1.0});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("p=2"), std::string::npos);
+}
+
+TEST(MalleableTask, AccessorsAndBounds) {
+  const MalleableTask task({6.0, 3.5, 3.0}, "t");
+  EXPECT_EQ(task.max_procs(), 3);
+  EXPECT_DOUBLE_EQ(task.seq_time(), 6.0);
+  EXPECT_DOUBLE_EQ(task.time(2), 3.5);
+  EXPECT_DOUBLE_EQ(task.work(2), 7.0);
+  EXPECT_NEAR(task.speedup(3), 2.0, 1e-12);
+  EXPECT_NEAR(task.efficiency(3), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(task.name(), "t");
+  EXPECT_THROW(task.time(0), std::out_of_range);
+  EXPECT_THROW(task.time(4), std::out_of_range);
+}
+
+TEST(MalleableTask, MinProcsForMatchesLinearScan) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 40));
+    std::vector<double> profile(static_cast<std::size_t>(m));
+    double t = rng.uniform(5.0, 10.0);
+    for (int p = 0; p < m; ++p) {
+      profile[static_cast<std::size_t>(p)] = t;
+      // keep work monotone: t(p+1) >= t(p)*p/(p+1)
+      const double lo = t * static_cast<double>(p + 1) / static_cast<double>(p + 2);
+      t = rng.uniform(lo, t);
+    }
+    const MalleableTask task(profile);
+    const double deadline = rng.uniform(0.5, 12.0);
+    const auto fast = task.min_procs_for(deadline);
+    // Linear reference.
+    std::optional<int> slow;
+    for (int p = 1; p <= m; ++p) {
+      if (leq(task.time(p), deadline)) {
+        slow = p;
+        break;
+      }
+    }
+    EXPECT_EQ(fast, slow) << "deadline " << deadline;
+  }
+}
+
+TEST(MalleableTask, MinProcsForUnreachableDeadline) {
+  const MalleableTask task({4.0, 2.5});
+  EXPECT_FALSE(task.min_procs_for(1.0).has_value());
+  EXPECT_EQ(task.min_procs_for(2.5).value(), 2);
+  EXPECT_EQ(task.min_procs_for(100.0).value(), 1);
+}
+
+// -------------------------------------------------------------- monotonize
+
+TEST(Monotonize, OutputAlwaysValid) {
+  Rng rng(202);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 32));
+    std::vector<double> raw(static_cast<std::size_t>(m));
+    for (auto& t : raw) t = rng.uniform(0.1, 10.0);
+    const auto repaired = monotonize(raw);
+    EXPECT_TRUE(is_monotonic_profile(repaired));
+  }
+}
+
+TEST(Monotonize, FixedPointOnValidProfiles) {
+  const std::vector<double> valid{8.0, 4.5, 3.2, 3.2};
+  EXPECT_EQ(monotonize(valid), valid);
+}
+
+TEST(Monotonize, Idempotent) {
+  Rng rng(203);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> raw(16);
+    for (auto& t : raw) t = rng.uniform(0.1, 10.0);
+    const auto once = monotonize(raw);
+    EXPECT_EQ(monotonize(once), once);
+  }
+}
+
+TEST(Monotonize, RepairsKnownShape) {
+  // Super-linear dip at p=2 gets raised to keep work constant.
+  const auto repaired = monotonize({4.0, 1.0});
+  EXPECT_DOUBLE_EQ(repaired[0], 4.0);
+  EXPECT_DOUBLE_EQ(repaired[1], 2.0);  // work 4 preserved
+}
+
+TEST(Monotonize, RejectsBadInput) {
+  EXPECT_THROW(monotonize({}), std::invalid_argument);
+  EXPECT_THROW(monotonize({1.0, -2.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- speedup models
+
+struct ModelCase {
+  SpeedupModel model;
+  double shape;
+};
+
+class SpeedupModelTest : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(SpeedupModelTest, ProducesValidMonotonicProfiles) {
+  const auto [model, shape] = GetParam();
+  for (const int m : {1, 2, 7, 32, 100}) {
+    for (const double seq : {0.5, 3.0, 40.0}) {
+      const auto profile = make_profile(model, seq, shape, m);
+      ASSERT_EQ(static_cast<int>(profile.size()), m);
+      EXPECT_TRUE(is_monotonic_profile(profile)) << to_string(model) << " m=" << m;
+      EXPECT_NEAR(profile.front(), seq, seq * 1e-9) << "t(1) must be the sequential time";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, SpeedupModelTest,
+    ::testing::Values(ModelCase{SpeedupModel::kAmdahl, 0.0}, ModelCase{SpeedupModel::kAmdahl, 0.2},
+                      ModelCase{SpeedupModel::kAmdahl, 1.0},
+                      ModelCase{SpeedupModel::kPowerLaw, 0.0},
+                      ModelCase{SpeedupModel::kPowerLaw, 0.5},
+                      ModelCase{SpeedupModel::kPowerLaw, 1.0},
+                      ModelCase{SpeedupModel::kCommOverhead, 0.0},
+                      ModelCase{SpeedupModel::kCommOverhead, 0.05},
+                      ModelCase{SpeedupModel::kCommOverhead, 1.0},
+                      ModelCase{SpeedupModel::kStaircase, 0.0},
+                      ModelCase{SpeedupModel::kLinear, 0.0},
+                      ModelCase{SpeedupModel::kSequential, 0.0}));
+
+TEST(SpeedupModels, AmdahlFormula) {
+  const auto profile = amdahl_profile(10.0, 0.5, 4);
+  EXPECT_NEAR(profile[3], 10.0 * (0.5 + 0.5 / 4.0), 1e-12);
+}
+
+TEST(SpeedupModels, LinearIsPerfect) {
+  const auto profile = linear_profile(8.0, 8);
+  EXPECT_DOUBLE_EQ(profile[7], 1.0);
+}
+
+TEST(SpeedupModels, SequentialIsFlat) {
+  const auto profile = sequential_profile(3.0, 5);
+  for (const double t : profile) EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+TEST(SpeedupModels, StaircasePlateausBetweenPowersOfTwo) {
+  const auto profile = staircase_profile(8.0, 8);
+  EXPECT_DOUBLE_EQ(profile[2], profile[1]);  // p=3 same as p=2
+  EXPECT_LT(profile[3], profile[2]);         // p=4 improves
+}
+
+TEST(SpeedupModels, CommOverheadMonotonizedPastTurningPoint) {
+  // With a large overhead the raw formula would increase; the profile
+  // must stay non-increasing anyway.
+  const auto profile = comm_overhead_profile(2.0, 0.5, 16);
+  for (std::size_t p = 1; p < profile.size(); ++p) {
+    EXPECT_LE(profile[p], profile[p - 1] * (1 + 1e-12));
+  }
+}
+
+TEST(SpeedupModels, RejectsBadParameters) {
+  EXPECT_THROW(amdahl_profile(1.0, -0.1, 4), std::invalid_argument);
+  EXPECT_THROW(amdahl_profile(1.0, 1.1, 4), std::invalid_argument);
+  EXPECT_THROW(power_law_profile(1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(comm_overhead_profile(1.0, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(linear_profile(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(linear_profile(1.0, 0), std::invalid_argument);
+}
+
+TEST(SpeedupModels, Names) {
+  EXPECT_EQ(to_string(SpeedupModel::kAmdahl), "amdahl");
+  EXPECT_EQ(to_string(SpeedupModel::kStaircase), "staircase");
+}
+
+// ---------------------------------------------------------------- instance
+
+TEST(Instance, ValidatesProfileCoverage) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{2.0, 1.5});
+  EXPECT_THROW(Instance(3, std::move(tasks)), std::invalid_argument);
+}
+
+TEST(Instance, RejectsBadMachineCount) {
+  EXPECT_THROW(Instance(0, {}), std::invalid_argument);
+}
+
+TEST(Instance, TotalSequentialWork) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(2.0, 4));
+  tasks.emplace_back(sequential_profile(3.0, 4));
+  const Instance instance(4, std::move(tasks));
+  EXPECT_DOUBLE_EQ(instance.total_sequential_work(), 5.0);
+  EXPECT_EQ(instance.size(), 2);
+  EXPECT_EQ(instance.machines(), 4);
+}
+
+// -------------------------------------------------------------- instance io
+
+TEST(InstanceIo, RoundTripsExactly) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(amdahl_profile(3.14159, 0.123, 6), "alpha");
+  tasks.emplace_back(power_law_profile(2.71828, 0.77, 6));
+  const Instance original(6, std::move(tasks));
+
+  const auto text = instance_to_string(original);
+  const Instance copy = instance_from_string(text);
+
+  ASSERT_EQ(copy.size(), original.size());
+  ASSERT_EQ(copy.machines(), original.machines());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(copy.task(i).name(), original.task(i).name());
+    for (int p = 1; p <= original.machines(); ++p) {
+      EXPECT_DOUBLE_EQ(copy.task(i).time(p), original.task(i).time(p));
+    }
+  }
+}
+
+TEST(InstanceIo, RejectsMissingHeader) {
+  std::istringstream in("not-a-header v1\nm 4\n");
+  EXPECT_THROW(read_instance(in), std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsShortTaskLine) {
+  std::istringstream in("malsched-instance v1\nm 3\ntask a 1.0 0.9\n");
+  EXPECT_THROW(read_instance(in), std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsNonMonotoneProfile) {
+  std::istringstream in("malsched-instance v1\nm 2\ntask a 1.0 2.0\n");
+  EXPECT_THROW(read_instance(in), std::runtime_error);
+}
+
+// ------------------------------------------------------------- lower bounds
+
+TEST(LowerBounds, AreaAndCriticalPath) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(6.0, 2));           // crit 6, work 6
+  tasks.emplace_back(std::vector<double>{4.0, 2.0});        // crit 2, work 4
+  const Instance instance(2, std::move(tasks));
+  EXPECT_DOUBLE_EQ(area_lower_bound(instance), 5.0);
+  EXPECT_DOUBLE_EQ(critical_path_lower_bound(instance), 6.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(instance), 6.0);
+}
+
+TEST(LowerBounds, AreaDominatesWhenLoadIsHigh) {
+  std::vector<MalleableTask> tasks;
+  for (int i = 0; i < 10; ++i) tasks.emplace_back(sequential_profile(1.0, 2));
+  const Instance instance(2, std::move(tasks));
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(instance), 5.0);
+}
+
+}  // namespace
+}  // namespace malsched

@@ -1,0 +1,381 @@
+// Tests for src/sched: schedule representation, the validator (including
+// negative cases), the contiguous list scheduler with the paper's tie rule,
+// LPT, compaction, the Gantt renderer and the brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "model/speedup_models.hpp"
+#include "sched/compaction.hpp"
+#include "sched/exact_small.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/lpt.hpp"
+#include "sched/schedule.hpp"
+#include "sched/sliding.hpp"
+#include "sched/validate.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace malsched {
+namespace {
+
+Instance tiny_instance() {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0, 2.0, 1.5}, "a");
+  tasks.emplace_back(std::vector<double>{3.0, 1.6, 1.2}, "b");
+  tasks.emplace_back(sequential_profile(1.0, 3), "c");
+  return Instance(3, std::move(tasks));
+}
+
+// ----------------------------------------------------------------- schedule
+
+TEST(Schedule, AssignAndQuery) {
+  Schedule schedule(4, 2);
+  schedule.assign(0, 0.0, 2.0, 1, 2);
+  EXPECT_TRUE(schedule.is_assigned(0));
+  EXPECT_FALSE(schedule.is_assigned(1));
+  EXPECT_FALSE(schedule.complete());
+  schedule.assign(1, 2.0, 1.0, 0, 1);
+  EXPECT_TRUE(schedule.complete());
+  EXPECT_DOUBLE_EQ(schedule.makespan(), 3.0);
+  EXPECT_EQ(schedule.of(0).procs(), 2);
+  EXPECT_EQ(schedule.of(0).processor_list(), (std::vector<int>{1, 2}));
+}
+
+TEST(Schedule, RejectsDoubleAssignment) {
+  Schedule schedule(2, 1);
+  schedule.assign(0, 0.0, 1.0, 0, 1);
+  EXPECT_THROW(schedule.assign(0, 1.0, 1.0, 0, 1), std::logic_error);
+}
+
+TEST(Schedule, RejectsBadGeometry) {
+  Schedule schedule(2, 1);
+  EXPECT_THROW(schedule.assign(0, 0.0, 1.0, 1, 2), std::logic_error);   // spills over
+  EXPECT_THROW(schedule.assign(0, -0.1, 1.0, 0, 1), std::logic_error);  // negative start
+  EXPECT_THROW(schedule.assign(0, 0.0, 0.0, 0, 1), std::logic_error);   // zero duration
+  EXPECT_THROW(schedule.assign(5, 0.0, 1.0, 0, 1), std::logic_error);   // bad task id
+}
+
+TEST(Schedule, ScatteredAssignment) {
+  Schedule schedule(4, 1);
+  schedule.assign_scattered(0, 0.0, 1.0, {3, 0});
+  const auto& assignment = schedule.of(0);
+  EXPECT_FALSE(assignment.contiguous());
+  EXPECT_EQ(assignment.procs(), 2);
+  EXPECT_EQ(assignment.processor_list(), (std::vector<int>{0, 3}));
+}
+
+TEST(Schedule, ScatteredRejectsDuplicates) {
+  Schedule schedule(4, 1);
+  EXPECT_THROW(schedule.assign_scattered(0, 0.0, 1.0, {1, 1}), std::logic_error);
+  EXPECT_THROW(schedule.assign_scattered(0, 0.0, 1.0, {}), std::logic_error);
+  EXPECT_THROW(schedule.assign_scattered(0, 0.0, 1.0, {4}), std::logic_error);
+}
+
+// ---------------------------------------------------------------- validator
+
+TEST(Validator, AcceptsFeasibleSchedule) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 2.0, 0, 2);
+  schedule.assign(1, 0.0, 3.0, 2, 1);
+  schedule.assign(2, 2.0, 1.0, 0, 1);
+  EXPECT_TRUE(is_valid_schedule(schedule, instance));
+}
+
+TEST(Validator, DetectsMissingTask) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 2.0, 0, 2);
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.str().find("not scheduled"), std::string::npos);
+}
+
+TEST(Validator, DetectsProcessorOverlap) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 2.0, 0, 2);
+  schedule.assign(1, 1.0, 1.6, 1, 2);  // overlaps task 0 on processor 1
+  schedule.assign(2, 4.0, 1.0, 0, 1);
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.str().find("overlap"), std::string::npos);
+}
+
+TEST(Validator, DetectsDurationMismatch) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 9.0, 0, 2);  // t_0(2) is 2.0, not 9.0
+  schedule.assign(1, 0.0, 3.0, 2, 1);
+  schedule.assign(2, 3.0, 1.0, 2, 1);
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.str().find("duration"), std::string::npos);
+}
+
+TEST(Validator, FlagsScatteredWhenContiguityRequired) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign_scattered(0, 0.0, 2.0, {0, 2});
+  schedule.assign(1, 2.0, 3.0, 0, 1);
+  schedule.assign(2, 2.0, 1.0, 1, 1);
+  EXPECT_FALSE(validate_schedule(schedule, instance).ok);
+  ValidationOptions relaxed;
+  relaxed.require_contiguous = false;
+  EXPECT_TRUE(validate_schedule(schedule, instance, relaxed).ok);
+}
+
+TEST(Validator, EnforcesMakespanBound) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 2.0, 0, 2);
+  schedule.assign(1, 0.0, 3.0, 2, 1);
+  schedule.assign(2, 2.0, 1.0, 0, 1);
+  ValidationOptions bounded;
+  bounded.makespan_bound = 2.5;
+  EXPECT_FALSE(validate_schedule(schedule, instance, bounded).ok);
+  bounded.makespan_bound = 3.0;
+  EXPECT_TRUE(validate_schedule(schedule, instance, bounded).ok);
+}
+
+TEST(Validator, MachineCountMismatch) {
+  const auto instance = tiny_instance();
+  Schedule schedule(4, 3);
+  EXPECT_FALSE(validate_schedule(schedule, instance).ok);
+}
+
+// ------------------------------------------------------------------ sliding
+
+TEST(Sliding, WindowMaxKnownCase) {
+  const std::vector<double> values{1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto maxima = sliding_window_max(values, 2);
+  EXPECT_EQ(maxima, (std::vector<double>{3.0, 3.0, 5.0, 5.0}));
+  const auto full = sliding_window_max(values, 5);
+  EXPECT_EQ(full, (std::vector<double>{5.0}));
+}
+
+// ----------------------------------------------------------- list scheduler
+
+TEST(ListScheduler, PaperTieRuleLeftmostAtZeroRightmostLater) {
+  // Two 1-proc tasks of equal length on 3 processors, then a third: the
+  // first two start at 0 on the leftmost free columns; the third starts
+  // later and must go to the rightmost tied column.
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(2.0, 3));
+  tasks.emplace_back(sequential_profile(2.0, 3));
+  tasks.emplace_back(sequential_profile(2.0, 3));
+  tasks.emplace_back(sequential_profile(1.0, 3));
+  const Instance instance(3, std::move(tasks));
+  const std::vector<int> allotment{1, 1, 1, 1};
+  const std::vector<int> order{0, 1, 2, 3};
+  const auto schedule = list_schedule(instance, allotment, order);
+  EXPECT_EQ(schedule.of(0).first_proc, 0);
+  EXPECT_EQ(schedule.of(1).first_proc, 1);
+  EXPECT_EQ(schedule.of(2).first_proc, 2);
+  // Task 3 ties on all three processors at t=2 -> rightmost.
+  EXPECT_DOUBLE_EQ(schedule.of(3).start, 2.0);
+  EXPECT_EQ(schedule.of(3).first_proc, 2);
+}
+
+TEST(ListScheduler, LeftmostPlacementOption) {
+  std::vector<MalleableTask> tasks;
+  for (int i = 0; i < 4; ++i) tasks.emplace_back(sequential_profile(1.0, 3));
+  const Instance instance(3, std::move(tasks));
+  const std::vector<int> allotment{1, 1, 1, 1};
+  const std::vector<int> order{0, 1, 2, 3};
+  const auto schedule =
+      list_schedule(instance, allotment, order, Placement::kContiguousLeftmost);
+  EXPECT_EQ(schedule.of(3).first_proc, 0);  // leftmost even when starting late
+}
+
+TEST(ListScheduler, ValidatesInputs) {
+  const auto instance = tiny_instance();
+  const std::vector<int> bad_allotment{0, 1, 1};
+  const std::vector<int> order{0, 1, 2};
+  EXPECT_THROW(list_schedule(instance, bad_allotment, order), std::invalid_argument);
+  const std::vector<int> allotment{1, 1, 1};
+  const std::vector<int> bad_order{0, 0, 2};
+  EXPECT_THROW(list_schedule(instance, allotment, bad_order), std::invalid_argument);
+  const std::vector<int> short_order{0, 1};
+  EXPECT_THROW(list_schedule(instance, allotment, short_order), std::invalid_argument);
+}
+
+class ListSchedulerRandomTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadFamily, int>> {};
+
+TEST_P(ListSchedulerRandomTest, RandomAllotmentsAlwaysFeasible) {
+  const auto [family, seed] = GetParam();
+  GeneratorOptions options;
+  options.tasks = 25;
+  options.machines = 12;
+  const auto instance = generate_instance(family, options, static_cast<std::uint64_t>(seed));
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+
+  std::vector<int> allotment(static_cast<std::size_t>(instance.size()));
+  for (auto& p : allotment) p = static_cast<int>(rng.uniform_int(1, instance.machines()));
+  std::vector<int> order(static_cast<std::size_t>(instance.size()));
+  const auto perm = rng.permutation(order.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) order[i] = static_cast<int>(perm[i]);
+
+  for (const auto placement :
+       {Placement::kContiguousPaperRule, Placement::kContiguousLeftmost, Placement::kScattered}) {
+    const auto schedule = list_schedule(instance, allotment, order, placement);
+    ValidationOptions validation;
+    validation.require_contiguous = placement != Placement::kScattered;
+    const auto report = validate_schedule(schedule, instance, validation);
+    EXPECT_TRUE(report.ok) << report.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ListSchedulerRandomTest,
+    ::testing::Combine(::testing::Values(WorkloadFamily::kUniform, WorkloadFamily::kBimodal,
+                                         WorkloadFamily::kHeavyTail, WorkloadFamily::kStairs),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(ListScheduler, OrderHelpers) {
+  const auto instance = tiny_instance();
+  const auto by_seq = order_by_decreasing_seq_time(instance);
+  EXPECT_EQ(by_seq, (std::vector<int>{0, 1, 2}));
+  const std::vector<int> allotment{3, 1, 1};  // t0(3)=1.5, t1(1)=3, t2(1)=1
+  const auto by_alloted = order_by_decreasing_alloted_time(instance, allotment);
+  EXPECT_EQ(by_alloted, (std::vector<int>{1, 0, 2}));
+}
+
+// ---------------------------------------------------------------------- lpt
+
+TEST(Lpt, KnownExample) {
+  // Graham's tightness example on 3 machines: LPT yields 11 while OPT = 9,
+  // meeting the 4/3 - 1/(3m) = 11/9 bound exactly.
+  const std::vector<double> jobs{5, 5, 4, 4, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(lpt_makespan(jobs, 3), 11.0);
+  EXPECT_NEAR(11.0 / 9.0, lpt_guarantee(3), 1e-12);
+}
+
+TEST(Lpt, SingleMachineIsSum) {
+  const std::vector<double> jobs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(lpt_makespan(jobs, 1), 6.0);
+}
+
+TEST(Lpt, TwoLowerBoundsHold) {
+  Rng rng(606);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<double> jobs(static_cast<std::size_t>(rng.uniform_int(1, 40)));
+    double total = 0.0;
+    double longest = 0.0;
+    for (auto& d : jobs) {
+      d = rng.uniform(0.1, 5.0);
+      total += d;
+      longest = std::max(longest, d);
+    }
+    const double lb = std::max(longest, total / m);
+    const double makespan = lpt_makespan(jobs, m);
+    EXPECT_TRUE(geq(makespan, lb));
+    // Any list schedule is below avg load + longest job <= 2 * lb.
+    EXPECT_TRUE(leq(makespan, total / m + longest));
+  }
+}
+
+TEST(Lpt, GuaranteeFormula) {
+  EXPECT_NEAR(lpt_guarantee(1), 1.0, 1e-12);
+  EXPECT_NEAR(lpt_guarantee(3), 4.0 / 3.0 - 1.0 / 9.0, 1e-12);
+}
+
+TEST(Lpt, RejectsBadInput) {
+  EXPECT_THROW(lpt_makespan(std::vector<double>{1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(lpt_makespan(std::vector<double>{0.0}, 2), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- compaction
+
+TEST(Compaction, NeverIncreasesMakespanAndStaysValid) {
+  Rng rng(707);
+  GeneratorOptions options;
+  options.tasks = 30;
+  options.machines = 10;
+  for (int seed = 0; seed < 10; ++seed) {
+    const auto instance =
+        generate_instance(WorkloadFamily::kUniform, options, static_cast<std::uint64_t>(seed));
+    std::vector<int> allotment(static_cast<std::size_t>(instance.size()));
+    for (auto& p : allotment) p = static_cast<int>(rng.uniform_int(1, instance.machines()));
+    std::vector<int> order(static_cast<std::size_t>(instance.size()));
+    const auto perm = rng.permutation(order.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) order[i] = static_cast<int>(perm[i]);
+    const auto schedule = list_schedule(instance, allotment, order);
+    const auto compacted = compact_schedule(schedule, instance);
+    EXPECT_TRUE(is_valid_schedule(compacted, instance));
+    EXPECT_TRUE(leq(compacted.makespan(), schedule.makespan()));
+  }
+}
+
+TEST(Compaction, ClosesArtificialGap) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(sequential_profile(1.0, 2), "a");
+  tasks.emplace_back(sequential_profile(1.0, 2), "b");
+  const Instance instance(2, std::move(tasks));
+  Schedule loose(2, 2);
+  loose.assign(0, 0.0, 1.0, 0, 1);
+  loose.assign(1, 5.0, 1.0, 0, 1);  // pointless idle gap
+  const auto tight = compact_schedule(loose, instance);
+  EXPECT_DOUBLE_EQ(tight.makespan(), 2.0);
+}
+
+// -------------------------------------------------------------------- gantt
+
+TEST(Gantt, RendersGridAndLegend) {
+  const auto instance = tiny_instance();
+  Schedule schedule(3, 3);
+  schedule.assign(0, 0.0, 2.0, 0, 2);
+  schedule.assign(1, 0.0, 3.0, 2, 1);
+  schedule.assign(2, 2.0, 1.0, 0, 1);
+  const auto text = gantt_to_string(schedule, instance);
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find('A'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleDoesNotCrash) {
+  const auto instance = tiny_instance();
+  const Schedule schedule(3, 3);
+  EXPECT_NE(gantt_to_string(schedule, instance).find("empty"), std::string::npos);
+}
+
+// -------------------------------------------------------------- brute force
+
+TEST(BruteForce, FindsOptimumOnTinyInstance) {
+  // One big malleable task + two unit tasks on 2 machines.
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{2.0, 1.0});
+  tasks.emplace_back(sequential_profile(1.0, 2));
+  tasks.emplace_back(sequential_profile(1.0, 2));
+  const Instance instance(2, std::move(tasks));
+  const auto result = brute_force_schedule(instance);
+  ASSERT_TRUE(result.has_value());
+  // OPT = 2: run the big task on both procs (1.0), then the two units.
+  EXPECT_NEAR(result->makespan, 2.0, 1e-12);
+  EXPECT_TRUE(is_valid_schedule(result->schedule, instance));
+}
+
+TEST(BruteForce, RespectsBudget) {
+  GeneratorOptions options;
+  options.tasks = 8;
+  options.machines = 16;
+  const auto instance = generate_instance(WorkloadFamily::kUniform, options, 1);
+  EXPECT_FALSE(brute_force_schedule(instance, 1000).has_value());
+}
+
+TEST(BruteForce, EmptyInstance) {
+  const Instance instance(2, {});
+  const auto result = brute_force_schedule(instance);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace malsched

@@ -1,0 +1,289 @@
+// Unit and property tests for src/support: rng, statistics, table,
+// parallel_for, math utilities.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/math_utils.hpp"
+#include "support/parallel_for.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace malsched {
+namespace {
+
+// ---------------------------------------------------------------- math_utils
+
+TEST(MathUtils, LeqToleratesRelativeNoise) {
+  EXPECT_TRUE(leq(1.0, 1.0));
+  EXPECT_TRUE(leq(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(leq(1.0 + 1e-6, 1.0));
+  EXPECT_TRUE(leq(0.999999999, 1.0));
+}
+
+TEST(MathUtils, LeqScalesWithMagnitude) {
+  EXPECT_TRUE(leq(1e12 + 1.0, 1e12));   // 1 part in 1e12 is below tolerance
+  EXPECT_FALSE(leq(1e12 * 1.001, 1e12));
+}
+
+TEST(MathUtils, GeqAndApproxEqAgreeWithLeq) {
+  EXPECT_TRUE(geq(2.0, 1.0));
+  EXPECT_FALSE(geq(1.0, 2.0));
+  EXPECT_TRUE(approx_eq(3.0, 3.0 + 1e-13));
+  EXPECT_FALSE(approx_eq(3.0, 3.01));
+}
+
+TEST(MathUtils, LtStrictRejectsNearEqual) {
+  EXPECT_TRUE(lt_strict(1.0, 2.0));
+  EXPECT_FALSE(lt_strict(1.0, 1.0 + 1e-13));
+}
+
+TEST(MathUtils, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 7), 1);
+}
+
+TEST(MathUtils, PaperConstantsAreConsistent) {
+  EXPECT_NEAR(kSqrt3, std::sqrt(3.0), 1e-15);
+  EXPECT_NEAR(kLambda + 1.0, kSqrt3, 1e-15);   // two shelves 1 + lambda
+  EXPECT_NEAR(2.0 * kMu, kSqrt3, 1e-15);       // list bound 2*mu
+}
+
+// ----------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(13);
+  Summary summary;
+  for (int i = 0; i < 50'000; ++i) summary.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(summary.mean(), 5.0, 0.05);
+  EXPECT_NEAR(summary.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.log_uniform(0.1, 10.0);
+    EXPECT_GE(x, 0.1 * (1 - 1e-12));
+    EXPECT_LE(x, 10.0 * (1 + 1e-12));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 20'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(23);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20'000; ++i) ones += rng.weighted_index(weights) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / 20'000.0, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto perm = rng.permutation(50);
+    std::set<std::size_t> unique(perm.begin(), perm.end());
+    EXPECT_EQ(unique.size(), 50u);
+    EXPECT_EQ(*unique.rbegin(), 49u);
+  }
+}
+
+TEST(Rng, PermutationNotIdentityUsually) {
+  Rng rng(31);
+  const auto perm = rng.permutation(64);
+  int fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) fixed += perm[i] == i;
+  EXPECT_LT(fixed, 10);
+}
+
+// ------------------------------------------------------------------ summary
+
+TEST(Summary, KnownValues) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(37);
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Summary, StrMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_NE(s.str().find("n=2"), std::string::npos);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+}
+
+TEST(Statistics, PercentileHandlesEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 3.0);
+}
+
+TEST(Statistics, Means) {
+  const std::vector<double> values{1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(mean_of(values), 7.0);
+  EXPECT_NEAR(geometric_mean(values), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, AlignsAndPrintsRows) {
+  Table table({"algo", "ratio"});
+  table.add_row({"mrt", cell(1.23, 2)});
+  table.add_row({"ludwig-ffdh", cell(1.9, 2)});
+  std::ostringstream out;
+  table.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("algo"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("ludwig-ffdh"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(1.23456, 2), "1.23");
+  EXPECT_EQ(cell(7), "7");
+  EXPECT_EQ(cell(static_cast<std::size_t>(9)), "9");
+}
+
+// ------------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, ComputesEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(500, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::atomic<int> total{0};
+  parallel_for(100, [&](std::size_t) { ++total; }, 1);
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(64, [](std::size_t i) {
+        if (i == 13) throw std::runtime_error("boom");
+      }, 4),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresNonNegativeAndResets) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100'000; ++i) sink += static_cast<double>(i);
+  const double first = sw.seconds();
+  EXPECT_GE(first, 0.0);
+  sw.reset();
+  EXPECT_LE(sw.seconds(), first + 1.0);
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace malsched
