@@ -1,18 +1,20 @@
 // EXP-T5 -- head-to-head comparison the paper's Section 5 anticipates
 // ("experiments are currently under progress"): the sqrt(3) scheduler
 // against every baseline, per workload family, including the paper-
-// motivating ocean workload and a moldable batch trace.
+// motivating ocean workload and a moldable batch trace. Every algorithm is
+// dispatched through the SolverRegistry, so this bench exercises exactly
+// the production entry point.
 //
 // Shape to verify: MRT wins or ties nearly everywhere; the two-phase
 // methods trail by the gap between guarantees (sqrt(3) vs 2); naive anchors
 // lose badly on their adversarial families.
 
+#include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "baselines/naive.hpp"
-#include "baselines/two_phase.hpp"
-#include "baselines/two_shelves_32.hpp"
-#include "core/mrt_scheduler.hpp"
+#include "api/solver_registry.hpp"
 #include "support/parallel_for.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
@@ -22,7 +24,15 @@
 
 namespace {
 constexpr int kSeeds = 16;
-}
+
+/// A registry dispatch: solver name plus its option bag.
+struct NamedSolver {
+  std::string display;
+  std::string solver;
+  malsched::SolverOptions options;
+};
+
+}  // namespace
 
 int main() {
   using namespace malsched;
@@ -57,8 +67,15 @@ int main() {
                        return trace_snapshot(options, seed);
                      }});
 
-  const std::vector<std::string> baselines{"2phase-ffdh", "2phase-nfdh", "2phase-list",
-                                           "3/2-shelves", "half-speedup", "lpt-seq", "gang"};
+  const std::vector<NamedSolver> baselines{
+      {"2phase-ffdh", "two_phase", SolverOptions::from_string("rigid=ffdh")},
+      {"2phase-nfdh", "two_phase", SolverOptions::from_string("rigid=nfdh")},
+      {"2phase-list", "two_phase", SolverOptions::from_string("rigid=list")},
+      {"3/2-shelves", "two_shelves_32", {}},
+      {"half-speedup", "naive", SolverOptions::from_string("policy=half-speedup")},
+      {"lpt-seq", "naive", SolverOptions::from_string("policy=lpt-seq")},
+      {"gang", "naive", SolverOptions::from_string("policy=gang")},
+  };
 
   Table table({"family", "baseline", "baseline/MRT mean", "baseline/MRT max", "MRT win%"});
 
@@ -66,20 +83,11 @@ int main() {
     std::vector<std::vector<double>> rel(baselines.size(), std::vector<double>(kSeeds));
     parallel_for(kSeeds, [&](std::size_t seed_index) {
       const auto instance = source.make(9000 + static_cast<std::uint64_t>(seed_index));
-      const double mrt = mrt_schedule(instance).makespan;
-      TwoPhaseOptions ffdh;
-      ffdh.rigid = RigidAlgo::kFfdh;
-      TwoPhaseOptions nfdh;
-      nfdh.rigid = RigidAlgo::kNfdh;
-      TwoPhaseOptions list;
-      list.rigid = RigidAlgo::kListSchedule;
-      rel[0][seed_index] = two_phase_schedule(instance, ffdh).makespan / mrt;
-      rel[1][seed_index] = two_phase_schedule(instance, nfdh).makespan / mrt;
-      rel[2][seed_index] = two_phase_schedule(instance, list).makespan / mrt;
-      rel[3][seed_index] = three_halves_schedule(instance).makespan / mrt;
-      rel[4][seed_index] = half_max_speedup_schedule(instance).makespan() / mrt;
-      rel[5][seed_index] = lpt_sequential_schedule(instance).makespan() / mrt;
-      rel[6][seed_index] = gang_schedule(instance).makespan() / mrt;
+      const double mrt = solve("mrt", instance).makespan;
+      for (std::size_t b = 0; b < baselines.size(); ++b) {
+        rel[b][seed_index] =
+            solve(baselines[b].solver, instance, baselines[b].options).makespan / mrt;
+      }
     });
     for (std::size_t b = 0; b < baselines.size(); ++b) {
       Summary summary;
@@ -88,7 +96,7 @@ int main() {
         summary.add(r);
         wins += r > 1.0 + 1e-9;
       }
-      table.add_row({source.name, baselines[b], cell(summary.mean(), 3),
+      table.add_row({source.name, baselines[b].display, cell(summary.mean(), 3),
                      cell(summary.max(), 3),
                      cell(100.0 * wins / static_cast<double>(kSeeds), 0)});
     }

@@ -1,14 +1,14 @@
 // HPC batch scheduling with moldable jobs: repeatedly drain a queue
 // snapshot with the sqrt(3) scheduler and report utilization against the
 // strategies an operator might hand-roll (fixed user-requested widths,
-// pure sequential backfill).
+// pure sequential backfill). All strategies dispatch through the
+// SolverRegistry -- the same path a production queue daemon would use.
 //
 // Run: ./build/examples/batch_scheduler
 
 #include <iostream>
 
-#include "baselines/naive.hpp"
-#include "core/mrt_scheduler.hpp"
+#include "api/solver_registry.hpp"
 #include "model/lower_bounds.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
@@ -36,19 +36,22 @@ int main() {
   options.machines = 128;
   options.jobs = 96;
 
+  const SolverOptions half_speedup = SolverOptions::from_string("policy=half-speedup");
+  const SolverOptions lpt_seq = SolverOptions::from_string("policy=lpt-seq");
+
   Table table({"snapshot", "jobs", "MRT makespan", "MRT util%", "half-speedup", "lpt-seq",
                "speedup vs lpt"});
   Summary mrt_util;
   for (int snapshot = 0; snapshot < 6; ++snapshot) {
     const auto instance = trace_snapshot(options, 500 + static_cast<std::uint64_t>(snapshot));
-    const auto mrt = mrt_schedule(instance);
-    const auto half = half_max_speedup_schedule(instance);
-    const auto lpt = lpt_sequential_schedule(instance);
+    const auto mrt = solve("mrt", instance);
+    const auto half = solve("naive", instance, half_speedup);
+    const auto lpt = solve("naive", instance, lpt_seq);
     const double util = 100.0 * utilization(mrt.schedule, instance);
     mrt_util.add(util);
     table.add_row({cell(snapshot), cell(instance.size()), cell(mrt.makespan, 2),
-                   cell(util, 1), cell(half.makespan(), 2), cell(lpt.makespan(), 2),
-                   cell(lpt.makespan() / mrt.makespan, 2)});
+                   cell(util, 1), cell(half.makespan, 2), cell(lpt.makespan, 2),
+                   cell(lpt.makespan / mrt.makespan, 2)});
   }
   table.print(std::cout);
 

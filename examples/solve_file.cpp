@@ -1,10 +1,11 @@
 // Command-line front end: solve a malleable instance from a file (or a
-// generated one) with any of the library's algorithms.
+// generated one) with any solver registered in the SolverRegistry.
 //
 //   ./build/examples/solve_file --emit-sample sample.inst
 //   ./build/examples/solve_file sample.inst
-//   ./build/examples/solve_file --algo 2phase-ffdh --gantt sample.inst
+//   ./build/examples/solve_file --algo two_phase --opt rigid=ffdh --gantt sample.inst
 //   ./build/examples/solve_file --family bimodal --tasks 40 --machines 16
+//   ./build/examples/solve_file --list-algos
 //
 // The instance format is documented in src/model/instance_io.hpp.
 
@@ -12,16 +13,11 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "baselines/naive.hpp"
-#include "baselines/two_phase.hpp"
-#include "baselines/two_shelves_32.hpp"
-#include "core/mrt_scheduler.hpp"
+#include "api/solver_registry.hpp"
 #include "model/instance_io.hpp"
-#include "model/lower_bounds.hpp"
 #include "sched/gantt.hpp"
-#include "sched/local_search.hpp"
-#include "sched/validate.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -31,11 +27,15 @@ using namespace malsched;
 int usage() {
   std::cerr <<
       "usage: solve_file [options] [instance-file]\n"
-      "  --algo NAME        mrt (default) | 2phase-ffdh | 2phase-list | 3/2 |\n"
-      "                     lpt-seq | gang\n"
-      "  --epsilon X        dual-search precision (default 0.01)\n"
-      "  --local-search     apply the makespan local-search post-pass\n"
+      "  --algo NAME        a registered solver (see --list-algos); default mrt.\n"
+      "                     Legacy aliases: 2phase-ffdh, 2phase-list, 3/2,\n"
+      "                     lpt-seq, gang\n"
+      "  --opt KEY=VALUE    solver option, repeatable (e.g. --opt rigid=nfdh)\n"
+      "  --epsilon X        shorthand for --opt epsilon=X (solver default:\n"
+      "                     0.01, except graph's layered strategy at 0.02)\n"
+      "  --local-search     shorthand for --opt local_search=1\n"
       "  --gantt            render the schedule\n"
+      "  --list-algos       print the registered solvers and exit\n"
       "  --family NAME      generate instead of reading a file\n"
       "                     (uniform|bimodal|heavy-tail|stairs|packed-opt1|sequential-only)\n"
       "  --tasks N --machines M --seed S   generator parameters\n"
@@ -50,6 +50,29 @@ std::optional<WorkloadFamily> family_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// Maps the pre-registry algorithm names onto (solver, extra options). An
+/// explicit --opt always wins over what the alias implies.
+void apply_legacy_alias(std::string& algo, SolverOptions& options) {
+  const auto set_default = [&options](const std::string& key, const std::string& value) {
+    if (!options.has(key)) options.set(key, value);
+  };
+  if (algo == "2phase-ffdh") {
+    algo = "two_phase";
+    set_default("rigid", "ffdh");
+  } else if (algo == "2phase-nfdh") {
+    algo = "two_phase";
+    set_default("rigid", "nfdh");
+  } else if (algo == "2phase-list") {
+    algo = "two_phase";
+    set_default("rigid", "list");
+  } else if (algo == "3/2") {
+    algo = "two_shelves_32";
+  } else if (algo == "lpt-seq" || algo == "gang" || algo == "half-speedup") {
+    set_default("policy", algo);
+    algo = "naive";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,9 +80,8 @@ int main(int argc, char** argv) {
   std::string family_name;
   std::string path;
   std::string emit_path;
-  double epsilon = 0.01;
+  std::vector<std::string> option_tokens;
   bool gantt = false;
-  bool local_search = false;
   int tasks = 32;
   int machines = 16;
   std::uint64_t seed = 1;
@@ -75,12 +97,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--algo") {
       algo = next();
+    } else if (arg == "--opt") {
+      option_tokens.push_back(next());
     } else if (arg == "--epsilon") {
-      epsilon = std::stod(next());
+      option_tokens.push_back("epsilon=" + next());
+    } else if (arg == "--local-search") {
+      option_tokens.emplace_back("local_search=1");
     } else if (arg == "--gantt") {
       gantt = true;
-    } else if (arg == "--local-search") {
-      local_search = true;
+    } else if (arg == "--list-algos") {
+      const auto& registry = SolverRegistry::global();
+      for (const auto& name : registry.names()) {
+        std::cout << name << "  --  " << registry.description(name) << "\n";
+      }
+      return 0;
     } else if (arg == "--family") {
       family_name = next();
     } else if (arg == "--tasks") {
@@ -140,44 +170,30 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  const double lb = makespan_lower_bound(*instance);
-  std::optional<Schedule> schedule;
-  if (algo == "mrt") {
-    MrtOptions options;
-    options.search.epsilon = epsilon;
-    auto result = mrt_schedule(*instance, options);
-    std::cout << "certified lower bound " << result.lower_bound << ", gaps " << result.gaps
-              << ", iterations " << result.iterations << "\n";
-    schedule = std::move(result.schedule);
-  } else if (algo == "2phase-ffdh" || algo == "2phase-list") {
-    TwoPhaseOptions options;
-    options.rigid = algo == "2phase-ffdh" ? RigidAlgo::kFfdh : RigidAlgo::kListSchedule;
-    schedule = two_phase_schedule(*instance, options).schedule;
-  } else if (algo == "3/2") {
-    schedule = three_halves_schedule(*instance, epsilon).schedule;
-  } else if (algo == "lpt-seq") {
-    schedule = lpt_sequential_schedule(*instance);
-  } else if (algo == "gang") {
-    schedule = gang_schedule(*instance);
-  } else {
-    std::cerr << "unknown algorithm " << algo << "\n";
+  SolverOptions options;
+  try {
+    options = SolverOptions::from_tokens(option_tokens);
+    apply_legacy_alias(algo, options);
+  } catch (const std::exception& err) {
+    std::cerr << err.what() << "\n";
     return usage();
   }
 
-  if (local_search) {
-    auto improved = improve_schedule(*instance, *schedule);
-    std::cout << "local search: " << (improved.improved ? "improved in " : "no gain after ")
-              << improved.rounds << " rounds\n";
-    schedule = std::move(improved.schedule);
-  }
-
-  const auto report = validate_schedule(*schedule, *instance);
-  if (!report.ok) {
-    std::cerr << "INVALID SCHEDULE:\n" << report.str() << "\n";
+  std::optional<SolverResult> result;
+  try {
+    result = solve(algo, *instance, options);
+  } catch (const std::invalid_argument& err) {
+    std::cerr << err.what() << "\n";
+    return usage();
+  } catch (const std::exception& err) {
+    std::cerr << "solve failed: " << err.what() << "\n";
     return 1;
   }
-  std::cout << "algorithm " << algo << ": makespan " << schedule->makespan()
-            << " (lower bound " << lb << ", ratio " << schedule->makespan() / lb << ")\n";
-  if (gantt) render_gantt(std::cout, *schedule, *instance);
+
+  std::cout << result->summary() << "\n";
+  for (const auto& [key, value] : result->stats) {
+    std::cout << "  " << key << " = " << value << "\n";
+  }
+  if (gantt) render_gantt(std::cout, result->schedule, *instance);
   return 0;
 }

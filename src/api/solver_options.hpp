@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// Generic key=value option bag for the solver registry.
+///
+/// Every solver behind the SolverRegistry facade is configured through the
+/// same string-keyed interface so callers (CLI front ends, batch drivers,
+/// benches) need no per-algorithm structs. Keys are free-form; each solver
+/// documents the ones it reads and ignores the rest. Typed getters convert
+/// on access and throw std::invalid_argument on malformed values, never on
+/// missing ones (the fallback applies).
+namespace malsched {
+
+class SolverOptions {
+ public:
+  SolverOptions() = default;
+
+  /// Parses a list of "key=value" tokens (a bare "key" means "key=1", the
+  /// conventional boolean shorthand). Throws std::invalid_argument on an
+  /// empty key.
+  static SolverOptions from_tokens(const std::vector<std::string>& tokens);
+
+  /// Parses a single spec string: tokens separated by commas and/or spaces,
+  /// e.g. "epsilon=0.02,rigid=ffdh local_search".
+  static SolverOptions from_string(const std::string& spec);
+
+  /// Sets (or overwrites) one option.
+  SolverOptions& set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string value, or `fallback` when absent.
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback = {}) const;
+
+  /// Numeric value; throws std::invalid_argument when present but unparsable.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+
+  /// Booleans accept 1/0, true/false, yes/no, on/off (case-insensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All options in key order (for logging and round-tripping).
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// "k1=v1,k2=v2" rendering of the bag (empty string when empty).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace malsched

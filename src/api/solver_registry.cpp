@@ -1,0 +1,196 @@
+#include "api/solver_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/naive.hpp"
+#include "baselines/two_phase.hpp"
+#include "baselines/two_shelves_32.hpp"
+#include "core/mrt_scheduler.hpp"
+#include "graph/graph_scheduler.hpp"
+#include "graph/task_graph.hpp"
+#include "model/lower_bounds.hpp"
+#include "sched/local_search.hpp"
+#include "sched/validate.hpp"
+#include "support/stopwatch.hpp"
+
+namespace malsched {
+
+namespace {
+
+SolverResult solve_mrt(const Instance& instance, const SolverOptions& options) {
+  MrtOptions mrt;
+  mrt.search.epsilon = options.get_double("epsilon", mrt.search.epsilon);
+  mrt.use_compaction = options.get_bool("compaction", mrt.use_compaction);
+  mrt.pick_best_branch = options.get_bool("pick_best_branch", mrt.pick_best_branch);
+  mrt.enable_two_shelf = options.get_bool("two_shelf", mrt.enable_two_shelf);
+  mrt.enable_canonical_list = options.get_bool("canonical_list", mrt.enable_canonical_list);
+  mrt.enable_malleable_list = options.get_bool("malleable_list", mrt.enable_malleable_list);
+  auto result = mrt_schedule(instance, mrt);
+
+  SolverResult out{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
+  out.stats.emplace_back("iterations", result.iterations);
+  out.stats.emplace_back("gaps", result.gaps);
+  out.stats.emplace_back("final_guess", result.final_guess);
+  for (int b = 0; b < kDualBranchCount; ++b) {
+    const int count = result.branch_counts[static_cast<std::size_t>(b)];
+    if (count > 0) {
+      out.stats.emplace_back("branch." + to_string(static_cast<DualBranch>(b)), count);
+    }
+  }
+  return out;
+}
+
+SolverResult solve_two_phase(const Instance& instance, const SolverOptions& options) {
+  TwoPhaseOptions two_phase;
+  const std::string rigid = options.get_string("rigid", "ffdh");
+  if (rigid == "ffdh") {
+    two_phase.rigid = RigidAlgo::kFfdh;
+  } else if (rigid == "nfdh") {
+    two_phase.rigid = RigidAlgo::kNfdh;
+  } else if (rigid == "list") {
+    two_phase.rigid = RigidAlgo::kListSchedule;
+  } else {
+    throw std::invalid_argument("two_phase: unknown rigid algorithm '" + rigid +
+                                "' (expected ffdh, nfdh, or list)");
+  }
+  two_phase.max_candidates = options.get_int("max_candidates", two_phase.max_candidates);
+  auto result = two_phase_schedule(instance, two_phase);
+
+  SolverResult out{"", std::move(result.schedule), 0.0, 0.0, 0.0, 0.0, {}};
+  out.stats.emplace_back("candidates_tried", result.candidates_tried);
+  out.stats.emplace_back("best_threshold", result.best_threshold);
+  return out;
+}
+
+SolverResult solve_naive(const Instance& instance, const SolverOptions& options) {
+  const std::string policy = options.get_string("policy", "half-speedup");
+  Schedule schedule = [&] {
+    if (policy == "half-speedup") return half_max_speedup_schedule(instance);
+    if (policy == "lpt-seq") return lpt_sequential_schedule(instance);
+    if (policy == "gang") return gang_schedule(instance);
+    throw std::invalid_argument("naive: unknown policy '" + policy +
+                                "' (expected half-speedup, lpt-seq, or gang)");
+  }();
+  return SolverResult{"", std::move(schedule), 0.0, 0.0, 0.0, 0.0, {}};
+}
+
+SolverResult solve_two_shelves_32(const Instance& instance, const SolverOptions& options) {
+  auto result = three_halves_schedule(instance, options.get_double("epsilon", 0.01));
+  return SolverResult{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
+}
+
+SolverResult solve_graph(const Instance& instance, const SolverOptions& options) {
+  // The registry interface is instance-based; viewed as a DAG with no edges
+  // the graph schedulers apply directly (front ends with real precedence
+  // graphs call them natively).
+  const TaskGraph graph(instance.machines(), instance.tasks(), {});
+  const std::string strategy = options.get_string("strategy", "layered");
+  auto result = [&] {
+    if (strategy == "layered") {
+      return layered_graph_schedule(graph, options.get_double("epsilon", 0.02));
+    }
+    if (strategy == "ready-list") return ready_list_graph_schedule(graph);
+    throw std::invalid_argument("graph: unknown strategy '" + strategy +
+                                "' (expected layered or ready-list)");
+  }();
+  SolverResult out{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
+  out.stats.emplace_back("levels", graph.level_count());
+  return out;
+}
+
+SolverRegistry make_global_registry() {
+  SolverRegistry registry;
+  registry.add("mrt", "sqrt(3)(1+eps) dual approximation of Mounie-Rapine-Trystram", solve_mrt);
+  registry.add("two_phase", "Turek/Ludwig two-phase baseline (allotment selection + packing)",
+               solve_two_phase);
+  registry.add("naive", "practitioner anchors: half-speedup, lpt-seq, or gang", solve_naive);
+  registry.add("two_shelves_32", "heuristic 3/2 two-shelf dual search", solve_two_shelves_32);
+  registry.add("graph", "layered/ready-list DAG scheduler on the flat instance", solve_graph);
+  return registry;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry registry = make_global_registry();
+  return registry;
+}
+
+void SolverRegistry::add(std::string name, std::string description, SolverFn fn,
+                         bool contiguous) {
+  if (name.empty()) throw std::invalid_argument("SolverRegistry: empty solver name");
+  if (!fn) throw std::invalid_argument("SolverRegistry: null solver for '" + name + "'");
+  if (entries_.count(name) > 0) {
+    throw std::invalid_argument("SolverRegistry: duplicate solver '" + name + "'");
+  }
+  Entry entry{name, std::move(description), std::move(fn), contiguous};
+  entries_.emplace(std::move(name), std::move(entry));
+}
+
+bool SolverRegistry::contains(const std::string& name) const { return entries_.count(name) > 0; }
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const std::string& SolverRegistry::description(const std::string& name) const {
+  return entry(name).description;
+}
+
+const SolverRegistry::Entry& SolverRegistry::entry(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("SolverRegistry: unknown solver '" + name + "' (registered: " +
+                                known + ")");
+  }
+  return it->second;
+}
+
+SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
+                                   const SolverOptions& options) const {
+  const Entry& solver = entry(name);
+  const Stopwatch stopwatch;
+
+  SolverResult result = solver.fn(instance, options);
+  result.solver = solver.name;
+
+  if (options.get_bool("local_search", false)) {
+    auto improved = improve_schedule(instance, result.schedule);
+    result.stats.emplace_back("local_search.rounds", improved.rounds);
+    result.schedule = std::move(improved.schedule);
+  }
+
+  // Every solver-specific bound is certified; the area/critical-path bound
+  // always is, so the facade reports the tighter of the two.
+  result.lower_bound = std::max(result.lower_bound, makespan_lower_bound(instance));
+  result.makespan = result.schedule.makespan();
+  result.ratio = result.lower_bound > 0.0 ? result.makespan / result.lower_bound : 1.0;
+
+  ValidationOptions validation;
+  validation.require_contiguous = solver.contiguous;
+  const auto report = validate_schedule(result.schedule, instance, validation);
+  if (!report.ok) {
+    throw std::runtime_error("SolverRegistry: solver '" + solver.name +
+                             "' produced an invalid schedule:\n" + report.str());
+  }
+
+  result.wall_seconds = stopwatch.seconds();
+  return result;
+}
+
+SolverResult solve(const std::string& solver, const Instance& instance,
+                   const SolverOptions& options) {
+  return SolverRegistry::global().solve(solver, instance, options);
+}
+
+}  // namespace malsched

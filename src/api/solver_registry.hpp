@@ -1,0 +1,89 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/solver_options.hpp"
+#include "api/solver_result.hpp"
+#include "model/instance.hpp"
+
+/// The production entry point of the library: one name-keyed facade over
+/// every scheduling algorithm, so front ends (CLI, batch drivers, benches,
+/// services) dispatch by string instead of hand-wiring per-algorithm structs.
+///
+/// Registered out of the box:
+///
+///   name              algorithm                              key options
+///   ----------------  -------------------------------------  -----------------------------
+///   mrt               sqrt(3) dual approximation (MRT '99)   epsilon, compaction,
+///                                                            pick_best_branch, two_shelf,
+///                                                            canonical_list, malleable_list
+///   two_phase         Turek/Ludwig two-phase baseline        rigid=ffdh|nfdh|list,
+///                                                            max_candidates
+///   naive             practitioner anchors                   policy=half-speedup|lpt-seq|gang
+///   two_shelves_32    heuristic 3/2 two-shelf dual search    epsilon
+///   graph             layered DAG scheduler on the flat      epsilon, strategy=layered|
+///                     instance (no precedence edges)         ready-list
+///
+/// Every solver additionally honors `local_search=1` (the makespan local
+/// search post-pass, applied by the facade). solve() always validates the
+/// schedule before returning -- a result is never handed out unchecked --
+/// and stamps the wall time of the whole dispatch.
+namespace malsched {
+
+class SolverRegistry {
+ public:
+  /// A solver fills `solver` (optional -- the facade overwrites it),
+  /// `schedule`, `lower_bound`, and `stats`; the facade computes makespan and
+  /// ratio, runs the optional post-pass, validates, and stamps wall time.
+  using SolverFn = std::function<SolverResult(const Instance&, const SolverOptions&)>;
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    SolverFn fn;
+    /// Whether the solver guarantees contiguous processor intervals (the
+    /// paper's setting); validation enforces exactly what is promised.
+    bool contiguous{true};
+  };
+
+  /// The process-wide registry, pre-populated with the built-in solvers.
+  [[nodiscard]] static SolverRegistry& global();
+
+  /// Creates an empty registry (tests compose their own).
+  SolverRegistry() = default;
+
+  /// Registers a solver; throws std::invalid_argument on an empty or
+  /// duplicate name. Pass contiguous=false only for solvers that may place
+  /// tasks on non-consecutive processors (their schedules are then validated
+  /// without the contiguity requirement).
+  void add(std::string name, std::string description, SolverFn fn, bool contiguous = true);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names in lexicographic order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Human-readable description of one solver; throws on unknown names.
+  [[nodiscard]] const std::string& description(const std::string& name) const;
+
+  /// Dispatches to the named solver. Throws std::invalid_argument for an
+  /// unknown name (the message lists the registered ones) and
+  /// std::runtime_error if a solver ever emits a schedule that fails
+  /// validation.
+  [[nodiscard]] SolverResult solve(const std::string& name, const Instance& instance,
+                                   const SolverOptions& options = {}) const;
+
+ private:
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Convenience: dispatch through the global registry.
+[[nodiscard]] SolverResult solve(const std::string& solver, const Instance& instance,
+                                 const SolverOptions& options = {});
+
+}  // namespace malsched

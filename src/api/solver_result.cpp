@@ -1,0 +1,21 @@
+#include "api/solver_result.hpp"
+
+#include <sstream>
+
+namespace malsched {
+
+double SolverResult::stat(const std::string& key, double fallback) const {
+  for (const auto& [name, value] : stats) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+std::string SolverResult::summary() const {
+  std::ostringstream out;
+  out << solver << ": makespan " << makespan << " (lower bound " << lower_bound << ", ratio "
+      << ratio << ", " << wall_seconds * 1e3 << " ms)";
+  return out.str();
+}
+
+}  // namespace malsched

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// The uniform result type of the SolverRegistry facade.
+namespace malsched {
+
+/// What every registered solver returns: a validated schedule, a certified
+/// lower bound on OPT (at worst the instance's area/critical-path bound, for
+/// the dual-search solvers the tighter certified rejection bound), the
+/// solver's search statistics (branch counts, iterations, candidates), and
+/// the wall time of the solve.
+struct SolverResult {
+  std::string solver;     ///< registry name that produced this result
+  Schedule schedule;      ///< complete and validate()-clean
+  double makespan{0.0};
+  double lower_bound{0.0};  ///< certified: OPT >= lower_bound
+  double ratio{0.0};        ///< makespan / lower_bound
+  double wall_seconds{0.0};
+  /// Solver-specific counters in insertion order, e.g. ("iterations", 12) or
+  /// ("branch.two-shelf-knapsack", 5).
+  std::vector<std::pair<std::string, double>> stats;
+
+  /// Looks up one counter; `fallback` when the solver did not record it.
+  [[nodiscard]] double stat(const std::string& key, double fallback = 0.0) const;
+
+  /// One-line human-readable report.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace malsched

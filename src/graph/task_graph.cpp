@@ -7,6 +7,7 @@
 #include "model/lower_bounds.hpp"
 #include "model/speedup_models.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 
@@ -83,7 +84,7 @@ TaskGraph random_out_tree(const TreeWorkloadOptions& options, std::uint64_t seed
   for (int v = 0; v < options.tasks; ++v) {
     const double seq = rng.log_uniform(options.seq_time_lo, options.seq_time_hi);
     tasks.emplace_back(power_law_profile(seq, rng.uniform(0.6, 0.95), options.machines),
-                       "node" + std::to_string(v));
+                       label("node", v));
     if (v > 0) {
       // Attach to a random earlier node with spare child slots; preferring
       // recent nodes keeps the tree deep enough to have a real critical path.
@@ -106,7 +107,7 @@ TaskGraph random_layered_dag(const LayeredDagOptions& options, std::uint64_t see
       const double seq = rng.log_uniform(options.seq_time_lo, options.seq_time_hi);
       tasks.emplace_back(
           amdahl_profile(seq, rng.uniform(0.02, 0.3), options.machines),
-          "L" + std::to_string(layer) + "." + std::to_string(slot));
+          label("L", layer, ".", slot));
       if (layer > 0) {
         const auto fan_in = static_cast<int>(rng.uniform_int(1, 3));
         for (int e = 0; e < fan_in; ++e) {

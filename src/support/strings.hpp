@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+/// Small string helpers shared across the library.
+namespace malsched {
+
+namespace detail {
+
+inline void append_label_part(std::string& out, std::string_view part) { out += part; }
+
+template <typename Number, std::enable_if_t<std::is_arithmetic_v<Number>, int> = 0>
+void append_label_part(std::string& out, Number part) {
+  out += std::to_string(part);
+}
+
+}  // namespace detail
+
+/// Concatenates string/number parts into a label, e.g. label("L", layer,
+/// ".", slot). Written as appends because gcc 12's -Wrestrict misfires on
+/// `"lit" + std::to_string(n)` under -O2 (GCC PR 105651); += sidesteps it.
+template <typename... Parts>
+[[nodiscard]] std::string label(const Parts&... parts) {
+  std::string out;
+  (detail::append_label_part(out, parts), ...);
+  return out;
+}
+
+}  // namespace malsched

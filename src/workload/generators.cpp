@@ -6,6 +6,7 @@
 
 #include "model/speedup_models.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 
@@ -53,7 +54,7 @@ Instance uniform_instance(const GeneratorOptions& options, Rng& rng) {
   for (int i = 0; i < options.tasks; ++i) {
     const double seq = rng.log_uniform(options.seq_time_lo, options.seq_time_hi);
     tasks.emplace_back(random_profile(rng, seq, options.machines),
-                       "u" + std::to_string(i));
+                       label("u", i));
   }
   return Instance(options.machines, std::move(tasks));
 }
@@ -65,11 +66,11 @@ Instance bimodal_instance(const GeneratorOptions& options, Rng& rng) {
     if (rng.bernoulli(0.2)) {
       const double seq = options.seq_time_hi * rng.uniform(2.0, 6.0);
       tasks.emplace_back(power_law_profile(seq, rng.uniform(0.85, 0.98), options.machines),
-                         "big" + std::to_string(i));
+                         label("big", i));
     } else {
       const double seq = rng.uniform(options.seq_time_lo, 2.0 * options.seq_time_lo);
       tasks.emplace_back(amdahl_profile(seq, rng.uniform(0.3, 0.8), options.machines),
-                         "small" + std::to_string(i));
+                         label("small", i));
     }
   }
   return Instance(options.machines, std::move(tasks));
@@ -87,7 +88,7 @@ Instance heavy_tail_instance(const GeneratorOptions& options, Rng& rng) {
     const double seq = std::min(options.seq_time_lo * std::pow(u, -1.0 / kParetoShape),
                                 options.seq_time_hi * 10.0);
     tasks.emplace_back(random_profile(rng, seq, options.machines),
-                       "ht" + std::to_string(i));
+                       label("ht", i));
   }
   return Instance(options.machines, std::move(tasks));
 }
@@ -105,7 +106,7 @@ Instance stairs_instance(const GeneratorOptions& options, Rng& rng) {
                          rng.uniform(0.9, 1.1);
       tasks.emplace_back(
           power_law_profile(std::max(seq, 1e-3), rng.uniform(0.8, 0.95), options.machines),
-          "s" + std::to_string(produced));
+          label("s", produced));
     }
   }
   return Instance(options.machines, std::move(tasks));
@@ -116,7 +117,7 @@ Instance sequential_only_instance(const GeneratorOptions& options, Rng& rng) {
   tasks.reserve(static_cast<std::size_t>(options.tasks));
   for (int i = 0; i < options.tasks; ++i) {
     const double seq = rng.log_uniform(options.seq_time_lo, options.seq_time_hi);
-    tasks.emplace_back(sequential_profile(seq, options.machines), "q" + std::to_string(i));
+    tasks.emplace_back(sequential_profile(seq, options.machines), label("q", i));
   }
   return Instance(options.machines, std::move(tasks));
 }
@@ -173,7 +174,7 @@ Instance packed_instance(int machines, std::uint64_t seed, int target_tasks) {
           cell.length *
           std::pow(static_cast<double>(cell.procs) / static_cast<double>(q), beta);
     }
-    tasks.emplace_back(std::move(profile), "cell" + std::to_string(index++));
+    tasks.emplace_back(std::move(profile), label("cell", index++));
   }
   return Instance(machines, std::move(tasks));
 }

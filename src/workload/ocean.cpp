@@ -5,6 +5,7 @@
 
 #include "model/speedup_models.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 
@@ -55,8 +56,7 @@ Instance ocean_instance(const OceanOptions& options, std::uint64_t seed) {
     const double work = cells * options.cell_work * substeps * rng.uniform(0.85, 1.15);
     const double halo = options.halo_cost * 4.0 * side * substeps;
     tasks.emplace_back(comm_overhead_profile(work, halo, options.machines),
-                       "blk-L" + std::to_string(block.level) + "-" + std::to_string(block.x) +
-                           "." + std::to_string(block.y));
+                       label("blk-L", block.level, "-", block.x, ".", block.y));
   }
   return Instance(options.machines, std::move(tasks));
 }

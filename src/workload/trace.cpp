@@ -7,6 +7,7 @@
 
 #include "model/monotonize.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 
@@ -31,7 +32,7 @@ Instance trace_snapshot(const TraceOptions& options, std::uint64_t seed) {
       profile[static_cast<std::size_t>(p) - 1] =
           seq / std::pow(static_cast<double>(effective), alpha);
     }
-    tasks.emplace_back(monotonize(std::move(profile)), "job" + std::to_string(j));
+    tasks.emplace_back(monotonize(std::move(profile)), label("job", j));
   }
   return Instance(options.machines, std::move(tasks));
 }

@@ -1,0 +1,202 @@
+// Tests for src/api: the SolverOptions key=value bag and the SolverRegistry
+// facade every front end dispatches through.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "api/solver_registry.hpp"
+#include "model/lower_bounds.hpp"
+#include "sched/validate.hpp"
+#include "support/math_utils.hpp"
+#include "workload/generators.hpp"
+
+namespace malsched {
+namespace {
+
+Instance small_instance(std::uint64_t seed = 3) {
+  GeneratorOptions options;
+  options.tasks = 24;
+  options.machines = 12;
+  return generate_instance(WorkloadFamily::kUniform, options, seed);
+}
+
+// ------------------------------------------------------------ SolverOptions
+
+TEST(SolverOptions, ParsesTokensAndTypes) {
+  const auto options = SolverOptions::from_tokens({"epsilon=0.05", "rigid=nfdh", "local_search"});
+  EXPECT_DOUBLE_EQ(options.get_double("epsilon", 0.0), 0.05);
+  EXPECT_EQ(options.get_string("rigid"), "nfdh");
+  EXPECT_TRUE(options.get_bool("local_search", false));  // bare key means =1
+  EXPECT_EQ(options.get_int("absent", 7), 7);
+}
+
+TEST(SolverOptions, ParsesSpecStringWithMixedSeparators) {
+  const auto options = SolverOptions::from_string("epsilon=0.02,rigid=ffdh max_candidates=8");
+  EXPECT_DOUBLE_EQ(options.get_double("epsilon", 0.0), 0.02);
+  EXPECT_EQ(options.get_int("max_candidates", 0), 8);
+  EXPECT_EQ(options.str(), "epsilon=0.02,max_candidates=8,rigid=ffdh");
+}
+
+TEST(SolverOptions, ThrowsOnMalformedValuesNotMissingOnes) {
+  const auto options = SolverOptions::from_string("epsilon=fast,flag=maybe");
+  EXPECT_THROW(static_cast<void>(options.get_double("epsilon", 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(options.get_bool("flag", true)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(SolverOptions::from_string("=3")), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(options.get_double("missing", 1.5), 1.5);
+}
+
+// ----------------------------------------------------------- SolverRegistry
+
+TEST(SolverRegistry, GlobalRegistersTheFiveSolvers) {
+  const auto names = SolverRegistry::global().names();
+  const std::vector<std::string> expected{"graph", "mrt", "naive", "two_phase",
+                                          "two_shelves_32"};
+  EXPECT_EQ(names, expected);
+  for (const auto& name : expected) {
+    EXPECT_TRUE(SolverRegistry::global().contains(name));
+    EXPECT_FALSE(SolverRegistry::global().description(name).empty());
+  }
+}
+
+TEST(SolverRegistry, UnknownSolverNameThrows) {
+  const auto instance = small_instance();
+  EXPECT_THROW(static_cast<void>(solve("mrt-typo", instance)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(SolverRegistry::global().description("nope")),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, RejectsDuplicateAndDegenerateRegistrations) {
+  SolverRegistry registry;
+  const auto fn = [](const Instance& instance, const SolverOptions&) {
+    return SolverResult{"", Schedule(instance.machines(), instance.size()), 0, 0, 0, 0, {}};
+  };
+  registry.add("custom", "test solver", fn);
+  EXPECT_THROW(registry.add("custom", "again", fn), std::invalid_argument);
+  EXPECT_THROW(registry.add("", "unnamed", fn), std::invalid_argument);
+  EXPECT_THROW(registry.add("null", "no fn", nullptr), std::invalid_argument);
+}
+
+TEST(SolverRegistry, ContiguityEnforcementMatchesRegistration) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{2.0, 1.5, 1.2});
+  const Instance instance(3, std::move(tasks));
+  // Feasible but scattered: processors {0, 2} of 3.
+  const auto scattered_fn = [](const Instance& inst, const SolverOptions&) {
+    Schedule schedule(inst.machines(), inst.size());
+    schedule.assign_scattered(0, 0.0, inst.task(0).time(2), {0, 2});
+    return SolverResult{"", std::move(schedule), 0, 0, 0, 0, {}};
+  };
+  SolverRegistry registry;
+  registry.add("strict", "scattered solver registered as contiguous", scattered_fn);
+  registry.add("relaxed", "scattered solver registered as such", scattered_fn,
+               /*contiguous=*/false);
+  EXPECT_THROW(static_cast<void>(registry.solve("strict", instance)), std::runtime_error);
+  const auto result = registry.solve("relaxed", instance);
+  EXPECT_TRUE(result.schedule.complete());
+}
+
+TEST(SolverRegistry, IncompleteScheduleFromSolverIsRejected) {
+  SolverRegistry registry;
+  registry.add("broken", "leaves every task unassigned",
+               [](const Instance& instance, const SolverOptions&) {
+                 return SolverResult{"", Schedule(instance.machines(), instance.size()),
+                                     0, 0, 0, 0, {}};
+               });
+  EXPECT_THROW(static_cast<void>(registry.solve("broken", small_instance())),
+               std::runtime_error);
+}
+
+/// Every registered solver, with the option bags the front ends use.
+class RegistrySolveTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(RegistrySolveTest, ReturnsValidatedScheduleWithCertifiedBound) {
+  const auto& [name, spec] = GetParam();
+  const auto options = SolverOptions::from_string(spec);
+  for (const auto family :
+       {WorkloadFamily::kUniform, WorkloadFamily::kBimodal, WorkloadFamily::kSequentialOnly}) {
+    GeneratorOptions generator;
+    generator.tasks = 20;
+    generator.machines = 10;
+    const auto instance = generate_instance(family, generator, 11);
+    const auto result = solve(name, instance, options);
+
+    EXPECT_EQ(result.solver, name);
+    EXPECT_TRUE(result.schedule.complete());
+    // All five built-in solvers promise contiguous processor intervals (the
+    // paper's setting), so the full default validation must hold.
+    const auto report = validate_schedule(result.schedule, instance);
+    EXPECT_TRUE(report.ok) << report.str();
+
+    // The certified bound is a real lower bound and at least the
+    // area/critical-path bound; makespan and ratio are consistent with it.
+    EXPECT_TRUE(geq(result.lower_bound, makespan_lower_bound(instance)));
+    EXPECT_TRUE(geq(result.makespan, result.lower_bound));
+    EXPECT_NEAR(result.ratio, result.makespan / result.lower_bound, 1e-12);
+    EXPECT_DOUBLE_EQ(result.makespan, result.schedule.makespan());
+    EXPECT_GE(result.wall_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, RegistrySolveTest,
+    ::testing::Values(std::make_tuple("mrt", ""), std::make_tuple("mrt", "epsilon=0.05"),
+                      std::make_tuple("two_phase", "rigid=ffdh"),
+                      std::make_tuple("two_phase", "rigid=nfdh"),
+                      std::make_tuple("two_phase", "rigid=list"),
+                      std::make_tuple("naive", "policy=half-speedup"),
+                      std::make_tuple("naive", "policy=lpt-seq"),
+                      std::make_tuple("naive", "policy=gang"),
+                      std::make_tuple("two_shelves_32", ""),
+                      std::make_tuple("graph", "strategy=layered"),
+                      std::make_tuple("graph", "strategy=ready-list")));
+
+TEST(SolverRegistry, MrtReportsBranchStatsAndIterations) {
+  const auto result = solve("mrt", small_instance());
+  EXPECT_GE(result.stat("iterations"), 1.0);
+  // At least one construction branch fired across the search.
+  double branch_total = 0.0;
+  for (const auto& [key, value] : result.stats) {
+    if (key.rfind("branch.", 0) == 0) branch_total += value;
+  }
+  EXPECT_GE(branch_total, 1.0);
+  EXPECT_GT(result.stat("final_guess"), 0.0);
+}
+
+TEST(SolverRegistry, BadSolverOptionValuesThrow) {
+  const auto instance = small_instance();
+  EXPECT_THROW(
+      static_cast<void>(solve("two_phase", instance, SolverOptions::from_string("rigid=best"))),
+      std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(solve("naive", instance, SolverOptions::from_string("policy=magic"))),
+      std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(solve("graph", instance, SolverOptions::from_string("strategy=x"))),
+      std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(solve("mrt", instance, SolverOptions::from_string("epsilon=tiny"))),
+      std::invalid_argument);
+}
+
+TEST(SolverRegistry, LocalSearchPostPassNeverDegrades) {
+  const auto instance = small_instance(17);
+  const auto base = solve("naive", instance, SolverOptions::from_string("policy=lpt-seq"));
+  const auto improved =
+      solve("naive", instance, SolverOptions::from_string("policy=lpt-seq,local_search=1"));
+  EXPECT_TRUE(leq(improved.makespan, base.makespan));
+  EXPECT_GE(improved.stat("local_search.rounds", -1.0), 0.0);
+}
+
+TEST(SolverRegistry, ResultSummaryMentionsSolverAndNumbers) {
+  const auto result = solve("mrt", small_instance());
+  const auto text = result.summary();
+  EXPECT_NE(text.find("mrt"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("lower bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malsched

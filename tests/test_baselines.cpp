@@ -14,6 +14,7 @@
 #include "sched/validate.hpp"
 #include "support/math_utils.hpp"
 #include "workload/generators.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 namespace {
@@ -105,7 +106,7 @@ TEST(Naive, MrtBeatsOrMatchesNaiveOnAdversarialShapes) {
   std::vector<MalleableTask> tasks;
   tasks.emplace_back(power_law_profile(40.0, 0.95, 16), "huge");
   for (int i = 0; i < 16; ++i) {
-    tasks.emplace_back(sequential_profile(1.0, 16), "f" + std::to_string(i));
+    tasks.emplace_back(sequential_profile(1.0, 16), label("f", i));
   }
   const Instance instance(16, std::move(tasks));
   const auto mrt = mrt_schedule(instance);

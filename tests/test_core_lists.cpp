@@ -85,8 +85,8 @@ TEST(CanonicalList, KstarValues) {
   EXPECT_EQ(kstar(0.75), 2);   // 2/3 < .75, 3/4 = .75 not strictly below
   EXPECT_EQ(kstar(0.8), 3);    // 3/4 < .8, 4/5 = .8 not below
   EXPECT_EQ(kstar(0.95), 18);  // 18/19 ~ .947 < .95, 19/20 = .95 not below
-  EXPECT_THROW(kstar(0.5), std::invalid_argument);
-  EXPECT_THROW(kstar(1.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(kstar(0.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(kstar(1.0)), std::invalid_argument);
 }
 
 TEST(CanonicalList, ReallocationWidth) {

@@ -11,6 +11,7 @@
 #include "sched/validate.hpp"
 #include "support/math_utils.hpp"
 #include "workload/generators.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 namespace {
@@ -89,7 +90,7 @@ TEST(TwoShelf, SmallTasksFirstFitPackedWithinLambda) {
   std::vector<MalleableTask> tasks;
   tasks.emplace_back(width_profile(6, 0.8, 8), "bulk");
   for (int i = 0; i < 10; ++i) {
-    tasks.emplace_back(sequential_profile(0.2, 8), "s" + std::to_string(i));
+    tasks.emplace_back(sequential_profile(0.2, 8), label("s", i));
   }
   const Instance instance(8, std::move(tasks));
   const auto outcome = two_shelf_schedule(instance, 1.0);

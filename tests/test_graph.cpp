@@ -12,6 +12,7 @@
 #include "model/speedup_models.hpp"
 #include "sched/validate.hpp"
 #include "support/math_utils.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 namespace {
@@ -20,7 +21,7 @@ TaskGraph diamond_graph() {
   // 0 -> {1, 2} -> 3 on 4 machines.
   std::vector<MalleableTask> tasks;
   for (int i = 0; i < 4; ++i) {
-    tasks.emplace_back(power_law_profile(2.0 + i, 0.8, 4), "n" + std::to_string(i));
+    tasks.emplace_back(power_law_profile(2.0 + i, 0.8, 4), label("n", i));
   }
   return TaskGraph(4, std::move(tasks), {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
 }
@@ -133,7 +134,7 @@ TEST(GraphScheduler, WideGraphBenefitsFromLayeredOptimization) {
   tasks.emplace_back(linear_profile(2.0, 16), "root");
   std::vector<std::pair<int, int>> edges;
   for (int c = 1; c <= 12; ++c) {
-    tasks.emplace_back(power_law_profile(3.0, 0.85, 16), "c" + std::to_string(c));
+    tasks.emplace_back(power_law_profile(3.0, 0.85, 16), label("c", c));
     edges.emplace_back(0, c);
   }
   const TaskGraph graph(16, std::move(tasks), std::move(edges));
@@ -162,7 +163,9 @@ TEST(GraphWorkloads, LayeredDagHasExpectedShape) {
   EXPECT_EQ(graph.size(), 20);
   EXPECT_EQ(graph.level_count(), 4);
   for (int v = 0; v < graph.size(); ++v) {
-    if (v >= options.width) EXPECT_FALSE(graph.predecessors(v).empty());
+    if (v >= options.width) {
+      EXPECT_FALSE(graph.predecessors(v).empty());
+    }
   }
 }
 

@@ -59,8 +59,8 @@ TEST(MalleableTask, AccessorsAndBounds) {
   EXPECT_NEAR(task.speedup(3), 2.0, 1e-12);
   EXPECT_NEAR(task.efficiency(3), 2.0 / 3.0, 1e-12);
   EXPECT_EQ(task.name(), "t");
-  EXPECT_THROW(task.time(0), std::out_of_range);
-  EXPECT_THROW(task.time(4), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(task.time(0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(task.time(4)), std::out_of_range);
 }
 
 TEST(MalleableTask, MinProcsForMatchesLinearScan) {

@@ -16,6 +16,7 @@
 #include "support/math_utils.hpp"
 #include "support/rng.hpp"
 #include "workload/generators.hpp"
+#include "support/strings.hpp"
 
 namespace malsched {
 namespace {
@@ -30,7 +31,7 @@ Instance fuzz_instance(Rng& rng) {
   for (int i = 0; i < tasks; ++i) {
     std::vector<double> profile(static_cast<std::size_t>(machines));
     for (auto& t : profile) t = rng.log_uniform(0.01, 50.0);
-    list.emplace_back(monotonize(std::move(profile)), "f" + std::to_string(i));
+    list.emplace_back(monotonize(std::move(profile)), label("f", i));
   }
   return Instance(machines, std::move(list));
 }

@@ -277,7 +277,9 @@ TEST(ParallelFor, PropagatesException) {
 TEST(Stopwatch, MeasuresNonNegativeAndResets) {
   Stopwatch sw;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100'000; ++i) sink += static_cast<double>(i);
+  // Plain assignment: compound assignment to a volatile is deprecated in
+  // C++20 (-Wvolatile).
+  for (int i = 0; i < 100'000; ++i) sink = sink + static_cast<double>(i);
   const double first = sw.seconds();
   EXPECT_GE(first, 0.0);
   sw.reset();

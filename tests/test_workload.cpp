@@ -29,7 +29,9 @@ TEST_P(GeneratorFamilyTest, ProducesValidInstances) {
   const auto instance = generate_instance(family, options, static_cast<std::uint64_t>(seed));
   EXPECT_EQ(instance.machines(), machines);
   EXPECT_GT(instance.size(), 0);
-  if (family != WorkloadFamily::kPackedOpt1) EXPECT_EQ(instance.size(), tasks);
+  if (family != WorkloadFamily::kPackedOpt1) {
+    EXPECT_EQ(instance.size(), tasks);
+  }
   for (const auto& task : instance.tasks()) {
     EXPECT_TRUE(is_monotonic_profile(task.profile()));
     EXPECT_FALSE(task.name().empty());
