@@ -1,0 +1,363 @@
+// The unified benchmark harness: one registry-driven sweep over
+// solvers x workload families that replaces the free-form text output of the
+// per-experiment bench mains with a machine-readable artifact.
+//
+// Every case dispatches through the SolverRegistry via the exec/BatchRunner
+// fan-out (the production batch path), and the result lands in
+// BENCH_<rev>.json: per case, the makespan ratio against the certified lower
+// bound, wall time (steady clock), solver, options, family, seed, and size.
+// CI runs `bench_suite --smoke` on every PR, validates the file against
+// bench/bench_schema.json, and uploads it -- the perf trajectory of the repo
+// is the sequence of these files.
+//
+//   ./build/bench/bench_suite --smoke
+//   ./build/bench/bench_suite --rev abc1234 --threads 8 --seeds 8
+//   ./build/bench/bench_suite --solvers mrt,two_phase-ffdh --families uniform,ocean
+//   ./build/bench/bench_suite --list
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/solve_batch.hpp"
+#include "graph/task_graph.hpp"
+#include "support/parallel_for.hpp"
+#include "support/json.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/ocean.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace malsched;
+
+constexpr int kSchemaVersion = 1;
+
+/// One swept solver configuration (display name = registry name + variant).
+struct SolverConfig {
+  std::string name;    ///< display/selection name, e.g. "two_phase-ffdh"
+  std::string solver;  ///< registry name
+  std::string options; ///< option spec string
+};
+
+/// One swept workload family; `make` draws the instance for a seed.
+struct FamilyConfig {
+  std::string name;
+  std::function<Instance(int tasks, int machines, std::uint64_t seed)> make;
+};
+
+std::vector<SolverConfig> all_solver_configs() {
+  return {
+      {"mrt", "mrt", ""},
+      {"two_phase-ffdh", "two_phase", "rigid=ffdh"},
+      {"two_phase-list", "two_phase", "rigid=list"},
+      {"naive-lpt-seq", "naive", "policy=lpt-seq"},
+      {"two_shelves_32", "two_shelves_32", ""},
+      {"graph-layered", "graph", "strategy=layered"},
+  };
+}
+
+std::vector<FamilyConfig> all_family_configs() {
+  std::vector<FamilyConfig> families;
+  for (const auto family : all_workload_families()) {
+    families.push_back({to_string(family), [family](int tasks, int machines, std::uint64_t seed) {
+                          GeneratorOptions options;
+                          options.tasks = tasks;
+                          options.machines = machines;
+                          return generate_instance(family, options, seed);
+                        }});
+  }
+  families.push_back({"ocean", [](int tasks, int machines, std::uint64_t seed) {
+                        OceanOptions options;
+                        options.machines = machines;
+                        // Block count is driven by refinement; scale the base
+                        // grid so it tracks the requested task count.
+                        options.base_grid = tasks <= 32 ? 4 : 8;
+                        return ocean_instance(options, seed);
+                      }});
+  families.push_back({"trace", [](int tasks, int machines, std::uint64_t seed) {
+                        TraceOptions options;
+                        options.machines = machines;
+                        options.jobs = tasks;
+                        return trace_snapshot(options, seed);
+                      }});
+  // Tree-structured node sets (sparse-linear-algebra style workloads); the
+  // registry schedules the flattened task set.
+  families.push_back({"graph-tree", [](int tasks, int machines, std::uint64_t seed) {
+                        TreeWorkloadOptions options;
+                        options.machines = machines;
+                        options.tasks = tasks;
+                        return random_out_tree(options, seed).instance();
+                      }});
+  return families;
+}
+
+template <typename Config>
+std::vector<Config> select(const std::vector<Config>& all, const std::string& csv,
+                           const char* what) {
+  if (csv.empty()) return all;
+  std::vector<Config> picked;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    bool found = false;
+    for (const auto& config : all) {
+      if (config.name == token) {
+        picked.push_back(config);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown " << what << " '" << token << "' (see --list)\n";
+      std::exit(2);
+    }
+  }
+  return picked;
+}
+
+void print_usage(std::ostream& out) {
+  out <<
+      "usage: bench_suite [options]\n"
+      "  --smoke            small CI sweep: 2 seeds, 24 tasks, 12 machines\n"
+      "                     (an explicit --seeds/--tasks/--machines wins)\n"
+      "  --seeds N          seeds per (solver, family) cell   [8]\n"
+      "  --tasks N          tasks per instance                [64]\n"
+      "  --machines M       processors per instance           [32]\n"
+      "  --threads N        batch worker threads, 0 = cores   [0]\n"
+      "  --solvers CSV      subset of solver configs          [all]\n"
+      "  --families CSV     subset of workload families       [all]\n"
+      "  --rev STR          revision stamp for the artifact   [local]\n"
+      "  --out FILE         output path                       [BENCH_<rev>.json]\n"
+      "  --list             print solver configs and families, then exit\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
+  return 2;
+}
+
+/// std::stoi with the tool's usage-error behavior instead of an uncaught
+/// exception (SIGABRT) on `--seeds many`; values below `min` are rejected
+/// here so a negative typo cannot masquerade as the unset sentinel.
+int parse_int(const std::string& value, const std::string& flag, int min) {
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(value, &used);
+    if (used == value.size()) {
+      if (parsed < min) {
+        std::cerr << flag << " must be >= " << min << ", got " << parsed << "\n";
+        std::exit(2);
+      }
+      return parsed;
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << flag << " expects an integer, got '" << value << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int seeds = -1;  // -1 = unset; resolved after parsing (smoke vs full defaults)
+  int tasks = -1;
+  int machines = -1;
+  unsigned threads = 0;
+  std::string solvers_csv;
+  std::string families_csv;
+  std::string rev = "local";
+  std::string out_path;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--seeds") {
+      seeds = parse_int(next(), arg, 1);
+    } else if (arg == "--tasks") {
+      tasks = parse_int(next(), arg, 1);
+    } else if (arg == "--machines") {
+      machines = parse_int(next(), arg, 1);
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(parse_int(next(), arg, 0));
+    } else if (arg == "--solvers") {
+      solvers_csv = next();
+    } else if (arg == "--families") {
+      families_csv = next();
+    } else if (arg == "--rev") {
+      rev = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--list") {
+      std::cout << "solver configs:\n";
+      for (const auto& config : all_solver_configs()) {
+        std::cout << "  " << config.name << "  (" << config.solver
+                  << (config.options.empty() ? "" : ", " + config.options) << ")\n";
+      }
+      std::cout << "families:\n";
+      for (const auto& family : all_family_configs()) std::cout << "  " << family.name << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    }
+  }
+  // Smoke shrinks the defaults only; explicit flags win regardless of order
+  // (parse_int already rejected anything below 1, so -1 still means unset).
+  if (seeds < 0) seeds = smoke ? 2 : 8;
+  if (tasks < 0) tasks = smoke ? 24 : 64;
+  if (machines < 0) machines = smoke ? 12 : 32;
+  if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
+
+  const auto solvers = select(all_solver_configs(), solvers_csv, "solver config");
+  const auto families = select(all_family_configs(), families_csv, "family");
+
+  // Build the full case list up front (stable order: solver, family, seed),
+  // then fan it out through the production batch path in one run.
+  struct CaseMeta {
+    const SolverConfig* solver;
+    const FamilyConfig* family;
+    std::uint64_t seed;
+    int tasks;
+    int machines;
+  };
+  // Each (family, seed) instance is generated once and shared by every
+  // solver config -- generation (ocean quadtrees, traces, trees) is not free,
+  // and BatchJob's shared_ptr makes the sharing itself free. Generators are
+  // pure functions of their seed, so the fill parallelizes like the solves.
+  std::vector<std::shared_ptr<const Instance>> pool(
+      families.size() * static_cast<std::size_t>(seeds));
+  parallel_for(pool.size(), [&](std::size_t i) {
+    const auto& family = families[i / static_cast<std::size_t>(seeds)];
+    const auto s = i % static_cast<std::size_t>(seeds);
+    pool[i] = std::make_shared<const Instance>(
+        family.make(tasks, machines, 9000 + static_cast<std::uint64_t>(s)));
+  }, threads);
+
+  std::vector<CaseMeta> cases;
+  std::vector<BatchJob> jobs;
+  for (const auto& solver : solvers) {
+    const auto options = SolverOptions::from_string(solver.options);
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      for (int s = 0; s < seeds; ++s) {
+        const auto& instance = pool[f * static_cast<std::size_t>(seeds) +
+                                    static_cast<std::size_t>(s)];
+        cases.push_back({&solver, &families[f], 9000 + static_cast<std::uint64_t>(s),
+                         instance->size(), instance->machines()});
+        jobs.push_back({solver.solver, options, instance});
+      }
+    }
+  }
+
+  BatchRunnerOptions batch;
+  batch.threads = threads;
+  const BatchReport report = solve_batch(jobs, batch);
+
+  // ------------------------------------------------------------- artifact
+  JsonWriter json;
+  json.begin_object();
+  json.kv("schema_version", kSchemaVersion);
+  json.kv("rev", rev);
+  json.kv("smoke", smoke);
+  json.kv("threads", report.threads);
+  json.kv("ok", report.ok);
+  json.kv("errors", report.errors);
+  json.kv("cancelled", report.cancelled);
+  json.kv("wall_seconds", report.wall_seconds);
+  json.key("cases");
+  json.begin_array();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& meta = cases[i];
+    const auto& item = report.items[i];
+    json.begin_object();
+    json.kv("solver", meta.solver->solver);
+    json.kv("config", meta.solver->name);
+    json.kv("options", meta.solver->options);
+    json.kv("family", meta.family->name);
+    json.kv("seed", meta.seed);
+    json.kv("tasks", meta.tasks);
+    json.kv("machines", meta.machines);
+    json.kv("status", to_string(item.status));
+    if (item.result) {
+      json.kv("makespan", item.result->makespan);
+      json.kv("lower_bound", item.result->lower_bound);
+      json.kv("ratio", item.result->ratio);
+      json.kv("wall_seconds", item.result->wall_seconds);
+    } else {
+      json.key("makespan");
+      json.null_value();
+      json.key("lower_bound");
+      json.null_value();
+      json.key("ratio");
+      json.null_value();
+      json.key("wall_seconds");
+      json.null_value();
+      if (!item.error.empty()) json.kv("error", item.error);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str() << "\n";
+  out.close();
+  if (!out) {
+    std::cerr << "write to " << out_path << " failed (disk full?)\n";
+    return 1;
+  }
+
+  // ------------------------------------------------------ console summary
+  std::cout << "bench_suite: " << cases.size() << " cases (" << solvers.size() << " solvers x "
+            << families.size() << " families x " << seeds << " seeds) on " << report.threads
+            << " threads in " << cell(report.wall_seconds, 2) << " s -> " << out_path << "\n\n";
+
+  Table table({"config", "ratio mean", "ratio max", "wall ms mean"});
+  for (const auto& solver : solvers) {
+    Summary ratios;
+    Summary walls;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (cases[i].solver != &solver || !report.items[i].result) continue;
+      ratios.add(report.items[i].result->ratio);
+      walls.add(report.items[i].result->wall_seconds * 1e3);
+    }
+    if (ratios.count() == 0) continue;
+    table.add_row({solver.name, cell(ratios.mean(), 3), cell(ratios.max(), 3),
+                   cell(walls.mean(), 2)});
+  }
+  table.print(std::cout);
+
+  if (report.errors > 0) {
+    std::cerr << "\n" << report.errors << " case(s) failed:\n";
+    for (const auto& item : report.items) {
+      if (item.status == BatchItemStatus::kError) {
+        std::cerr << "  case " << item.index << ": " << item.error << "\n";
+      }
+    }
+    return 1;
+  }
+  return 0;
+}

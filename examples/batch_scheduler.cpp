@@ -1,15 +1,18 @@
 // HPC batch scheduling with moldable jobs: repeatedly drain a queue
 // snapshot with the sqrt(3) scheduler and report utilization against the
 // strategies an operator might hand-roll (fixed user-requested widths,
-// pure sequential backfill). All strategies dispatch through the
-// SolverRegistry -- the same path a production queue daemon would use.
+// pure sequential backfill). All snapshots x strategies are fanned out in
+// ONE deterministic parallel batch through api/solve_batch -- the same
+// BatchRunner path a production queue daemon would use -- and the results
+// come back in job order no matter which worker finished first.
 //
 // Run: ./build/examples/batch_scheduler
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "api/solver_registry.hpp"
-#include "model/lower_bounds.hpp"
+#include "api/solve_batch.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 #include "workload/trace.hpp"
@@ -30,6 +33,7 @@ double utilization(const malsched::Schedule& schedule, const malsched::Instance&
 
 int main() {
   using namespace malsched;
+  constexpr int kSnapshots = 6;
   std::cout << "Moldable batch queue: draining snapshots on a 128-node machine\n\n";
 
   TraceOptions options;
@@ -39,14 +43,38 @@ int main() {
   const SolverOptions half_speedup = SolverOptions::from_string("policy=half-speedup");
   const SolverOptions lpt_seq = SolverOptions::from_string("policy=lpt-seq");
 
+  // Three strategies per snapshot, flattened into one job vector; jobs[3*s]
+  // is MRT on snapshot s, followed by the two naive anchors. The snapshot
+  // instance is shared across its three jobs, not copied.
+  std::vector<BatchJob> jobs;
+  std::vector<std::shared_ptr<const Instance>> snapshots;
+  for (int snapshot = 0; snapshot < kSnapshots; ++snapshot) {
+    const auto instance = std::make_shared<const Instance>(
+        trace_snapshot(options, 500 + static_cast<std::uint64_t>(snapshot)));
+    snapshots.push_back(instance);
+    jobs.push_back({"mrt", {}, instance});
+    jobs.push_back({"naive", half_speedup, instance});
+    jobs.push_back({"naive", lpt_seq, instance});
+  }
+
+  const BatchReport report = solve_batch(jobs);
+  if (!report.all_ok()) {
+    for (const auto& item : report.items) {
+      if (item.status == BatchItemStatus::kError) {
+        std::cerr << "job " << item.index << " failed: " << item.error << "\n";
+      }
+    }
+    return 1;
+  }
+
   Table table({"snapshot", "jobs", "MRT makespan", "MRT util%", "half-speedup", "lpt-seq",
                "speedup vs lpt"});
   Summary mrt_util;
-  for (int snapshot = 0; snapshot < 6; ++snapshot) {
-    const auto instance = trace_snapshot(options, 500 + static_cast<std::uint64_t>(snapshot));
-    const auto mrt = solve("mrt", instance);
-    const auto half = solve("naive", instance, half_speedup);
-    const auto lpt = solve("naive", instance, lpt_seq);
+  for (int snapshot = 0; snapshot < kSnapshots; ++snapshot) {
+    const auto& instance = *snapshots[static_cast<std::size_t>(snapshot)];
+    const auto& mrt = *report.items[static_cast<std::size_t>(3 * snapshot)].result;
+    const auto& half = *report.items[static_cast<std::size_t>(3 * snapshot + 1)].result;
+    const auto& lpt = *report.items[static_cast<std::size_t>(3 * snapshot + 2)].result;
     const double util = 100.0 * utilization(mrt.schedule, instance);
     mrt_util.add(util);
     table.add_row({cell(snapshot), cell(instance.size()), cell(mrt.makespan, 2),
@@ -55,6 +83,8 @@ int main() {
   }
   table.print(std::cout);
 
+  std::cout << "\nbatch: " << report.ok << " solves on " << report.threads << " thread(s) in "
+            << cell(report.wall_seconds * 1e3, 1) << " ms\n";
   std::cout << "\nmean MRT utilization: " << cell(mrt_util.mean(), 1)
             << "% -- the dual search squeezes the queue against its certified lower\n"
             << "bound, so idle area only remains where the speedup curves flatten.\n";

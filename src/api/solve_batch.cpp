@@ -1,0 +1,14 @@
+#include "api/solve_batch.hpp"
+
+namespace malsched {
+
+BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchRunnerOptions& options) {
+  return BatchRunner(SolverRegistry::global(), options).run(jobs);
+}
+
+BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchRunnerOptions& options,
+                        CancelToken cancel) {
+  return BatchRunner(SolverRegistry::global(), options).run(jobs, std::move(cancel));
+}
+
+}  // namespace malsched

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "exec/batch_runner.hpp"
+
+/// Batch entry point of the api facade: many (solver, options, instance)
+/// jobs, one deterministic parallel run through the global SolverRegistry.
+///
+/// This is to BatchRunner what malsched::solve() is to
+/// SolverRegistry::solve() -- the one-liner front ends reach for. Results
+/// come back in job order with per-job error isolation; see
+/// exec/batch_runner.hpp for the full guarantees.
+namespace malsched {
+
+[[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,
+                                      const BatchRunnerOptions& options = {});
+
+/// As above with caller-owned cancellation.
+[[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,
+                                      const BatchRunnerOptions& options, CancelToken cancel);
+
+}  // namespace malsched

@@ -31,6 +31,16 @@
 /// search post-pass, applied by the facade). solve() always validates the
 /// schedule before returning -- a result is never handed out unchecked --
 /// and stamps the wall time of the whole dispatch.
+///
+/// Thread safety (audited for the exec/BatchRunner fan-out): construction of
+/// global() is safe under C++11 magic statics; solve(), contains(), names(),
+/// and description() are const reads of an immutable entry map and safe to
+/// call concurrently, provided no add() races with them. The built-in solver
+/// functions are stateless (pure functions of instance + options), so
+/// concurrent solve() calls on distinct or even the same instance are safe.
+/// add() is NOT synchronized: finish registering custom solvers before
+/// sharing a registry across threads (the global registry is fully populated
+/// on first use).
 namespace malsched {
 
 class SolverRegistry {

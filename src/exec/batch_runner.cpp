@@ -1,0 +1,103 @@
+#include "exec/batch_runner.hpp"
+
+#include <exception>
+#include <map>
+#include <stdexcept>
+
+#include "support/parallel_for.hpp"
+#include "support/stopwatch.hpp"
+
+namespace malsched {
+
+BatchJob::BatchJob(std::string solver_name, SolverOptions solver_options,
+                   std::shared_ptr<const Instance> task_instance)
+    : solver(std::move(solver_name)),
+      options(std::move(solver_options)),
+      instance(std::move(task_instance)) {
+  if (!instance) throw std::invalid_argument("BatchJob: null instance");
+}
+
+std::string to_string(BatchItemStatus status) {
+  switch (status) {
+    case BatchItemStatus::kOk: return "ok";
+    case BatchItemStatus::kError: return "error";
+    case BatchItemStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::string, double>> BatchReport::aggregate_stats() const {
+  std::map<std::string, double> totals;
+  for (const auto& item : items) {
+    if (!item.result) continue;
+    for (const auto& [key, value] : item.result->stats) totals[key] += value;
+  }
+  return {totals.begin(), totals.end()};
+}
+
+BatchRunner::BatchRunner(const SolverRegistry& registry, BatchRunnerOptions options)
+    : registry_(&registry), options_(options) {}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  return run(jobs, CancelToken{});
+}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs, CancelToken cancel) const {
+  const Stopwatch stopwatch;
+  BatchReport report;
+  report.items.resize(jobs.size());
+  if (jobs.empty()) {
+    report.wall_seconds = stopwatch.seconds();
+    return report;
+  }
+
+  // Shared with parallel_for so report.threads records the worker count the
+  // pool below actually uses.
+  const unsigned workers = resolve_worker_count(jobs.size(), options_.threads);
+
+  // stop_on_error fires a run-local token, never the caller's: a failing job
+  // must not look like an external cancellation to whatever else shares it.
+  CancelToken aborted;
+
+  // Each worker writes exclusively into its job's preallocated slot, so the
+  // output never depends on completion order -- only the wall time does.
+  const auto run_one = [&](std::size_t i) {
+    BatchItem& item = report.items[i];
+    item.index = i;
+    if (cancel.cancelled() || aborted.cancelled()) {
+      item.status = BatchItemStatus::kCancelled;
+      return;
+    }
+    try {
+      item.result = registry_->solve(jobs[i].solver, *jobs[i].instance, jobs[i].options);
+      item.status = BatchItemStatus::kOk;
+    } catch (const std::exception& err) {
+      item.status = BatchItemStatus::kError;
+      item.error = err.what();
+      if (options_.stop_on_error) aborted.cancel();
+    } catch (...) {
+      item.status = BatchItemStatus::kError;
+      item.error = "non-standard exception";
+      if (options_.stop_on_error) aborted.cancel();
+    }
+  };
+
+  // One threading implementation in the repo: the shared-counter pool of
+  // support/parallel_for (workers draw contiguous index blocks from a single
+  // atomic, no per-worker deques). run_one catches everything itself, so
+  // parallel_for's first-exception rethrow path never fires.
+  parallel_for(jobs.size(), run_one, workers);
+
+  for (const auto& item : report.items) {
+    switch (item.status) {
+      case BatchItemStatus::kOk: ++report.ok; break;
+      case BatchItemStatus::kError: ++report.errors; break;
+      case BatchItemStatus::kCancelled: ++report.cancelled; break;
+    }
+  }
+  report.threads = workers;
+  report.wall_seconds = stopwatch.seconds();
+  return report;
+}
+
+}  // namespace malsched

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/solver_options.hpp"
+#include "api/solver_registry.hpp"
+#include "api/solver_result.hpp"
+#include "model/instance.hpp"
+
+/// Deterministic parallel batch execution -- the serving-scale layer over the
+/// SolverRegistry facade.
+///
+/// A production queue daemon faces many independent instances at once (queue
+/// snapshots, per-tenant workloads, sweep experiments); solving them serially
+/// wastes every core but one. BatchRunner fans a vector of jobs out across a
+/// fixed pool of workers with these guarantees:
+///
+///  * **Stable ordering** -- `report.items[i]` always corresponds to
+///    `jobs[i]`, no matter which worker finished first. Combined with the
+///    solvers being deterministic functions of (instance, options), a batch
+///    run produces byte-identical results on 1, 2, or 64 threads.
+///  * **No work stealing** -- workers draw contiguous index blocks from one
+///    shared atomic counter (support/parallel_for); there are no per-worker
+///    deques whose steal order could differ between runs. Dispatch order is
+///    the job order.
+///  * **Error isolation** -- one throwing solve marks only its own item as
+///    failed (message preserved); every other job still runs, unless
+///    `stop_on_error` asked for the remainder to be cancelled.
+///  * **Cancellation** -- a CancelToken shared with the caller (or another
+///    thread) skips every job that has not started yet; running solves finish.
+///
+/// Thread-safety contract with the registry (audited in
+/// api/solver_registry.hpp): concurrent `solve()` calls on a registry that is
+/// no longer being mutated are safe, which is exactly how BatchRunner uses
+/// it. The registry must outlive the runner.
+namespace malsched {
+
+/// One unit of batch work: which solver, how configured, on what instance.
+///
+/// The instance is held by shared_ptr so many jobs can sweep one instance
+/// (different solvers/options) without duplicating it; the Instance overload
+/// wraps a freshly built instance for the common one-job-one-instance case.
+struct BatchJob {
+  BatchJob(std::string solver_name, SolverOptions solver_options, Instance task_instance)
+      : solver(std::move(solver_name)),
+        options(std::move(solver_options)),
+        instance(std::make_shared<const Instance>(std::move(task_instance))) {}
+
+  /// Shares an existing instance; throws std::invalid_argument on null.
+  BatchJob(std::string solver_name, SolverOptions solver_options,
+           std::shared_ptr<const Instance> task_instance);
+
+  std::string solver;     ///< registry name to dispatch to
+  SolverOptions options;  ///< per-job option bag
+  std::shared_ptr<const Instance> instance;  ///< never null
+};
+
+enum class BatchItemStatus {
+  kOk,         ///< solved and validated
+  kError,      ///< the solve threw; `error` holds the message
+  kCancelled,  ///< skipped: cancellation (or stop_on_error) fired first
+};
+
+[[nodiscard]] std::string to_string(BatchItemStatus status);
+
+/// Outcome of one job, at the same index as the job that produced it.
+struct BatchItem {
+  std::size_t index{0};
+  BatchItemStatus status{BatchItemStatus::kCancelled};
+  std::optional<SolverResult> result;  ///< engaged iff status == kOk
+  std::string error;                   ///< non-empty iff status == kError
+};
+
+/// Cooperative cancellation flag; copies share one underlying flag, so a
+/// caller can hand a token to run() and cancel from another thread.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() noexcept { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct BatchRunnerOptions {
+  /// Worker threads; 0 means hardware_concurrency. More workers than jobs
+  /// (or than cores -- oversubscription) is allowed and changes nothing but
+  /// the wall time.
+  unsigned threads{0};
+  /// When true, the first failing job cancels every job not yet started
+  /// (their items report kCancelled). Uses a run-local flag: a token passed
+  /// to run() is read, never fired, so error-stopping one batch cannot leak
+  /// a cancellation into other work sharing that token.
+  bool stop_on_error{false};
+};
+
+/// What a batch run returns: per-job items in job order plus run-level
+/// wall time and tallies.
+struct BatchReport {
+  std::vector<BatchItem> items;  ///< items[i] is the outcome of jobs[i]
+  double wall_seconds{0.0};      ///< whole-run wall time (steady clock)
+  unsigned threads{0};           ///< workers actually used
+  std::size_t ok{0};
+  std::size_t errors{0};
+  std::size_t cancelled{0};
+
+  [[nodiscard]] bool all_ok() const noexcept { return errors == 0 && cancelled == 0; }
+
+  /// Sums every solver counter (iterations, branch.*, ...) over the
+  /// successful items, in key order -- the run-level branch statistics.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> aggregate_stats() const;
+};
+
+class BatchRunner {
+ public:
+  /// Binds the runner to a registry (default: the global one). The registry
+  /// must outlive the runner and must not be mutated while run() executes.
+  explicit BatchRunner(const SolverRegistry& registry = SolverRegistry::global(),
+                       BatchRunnerOptions options = {});
+
+  /// A temporary registry would dangle before run(); keep it in a variable.
+  explicit BatchRunner(SolverRegistry&& registry, BatchRunnerOptions options = {}) = delete;
+
+  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs) const;
+
+  /// As above with caller-owned cancellation: jobs not yet started when the
+  /// token fires are reported as kCancelled.
+  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs, CancelToken cancel) const;
+
+ private:
+  const SolverRegistry* registry_;
+  BatchRunnerOptions options_;
+};
+
+}  // namespace malsched

@@ -9,11 +9,17 @@
 
 namespace malsched {
 
+unsigned resolve_worker_count(std::size_t count, unsigned threads) {
+  if (count == 0) return 0;
+  const unsigned workers =
+      threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(std::min<std::size_t>(workers, count));
+}
+
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned threads) {
   if (count == 0) return;
-  unsigned workers = threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(std::min<std::size_t>(workers, count));
+  const unsigned workers = resolve_worker_count(count, threads);
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);

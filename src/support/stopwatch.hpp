@@ -3,6 +3,12 @@
 #include <chrono>
 
 /// Wall-clock timing for the benchmark harness.
+///
+/// Convention (enforced below): every duration in the library -- solver
+/// wall times, batch runs, bench JSON -- is measured with this class, i.e.
+/// with std::chrono::steady_clock. system_clock and C `clock()` are banned
+/// from timing paths: the former jumps under NTP adjustment (negative or
+/// inflated CI numbers), the latter counts CPU time summed over threads.
 namespace malsched {
 
 /// Monotonic stopwatch; starts on construction.
@@ -23,6 +29,7 @@ class Stopwatch {
 
  private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady, "timing must be monotonic");
   clock::time_point start_;
 };
 

@@ -1,15 +1,17 @@
 // Unit and property tests for src/support: rng, statistics, table,
-// parallel_for, math utilities.
+// parallel_for, json, math utilities.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "support/json.hpp"
 #include "support/math_utils.hpp"
 #include "support/parallel_for.hpp"
 #include "support/rng.hpp"
@@ -270,6 +272,73 @@ TEST(ParallelFor, PropagatesException) {
         if (i == 13) throw std::runtime_error("boom");
       }, 4),
       std::runtime_error);
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(Json, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("utf8 \xc3\xa9 ok"), "utf8 \xc3\xa9 ok");
+}
+
+TEST(Json, WritesNestedObjectsAndArrays) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.kv("name", "bench");
+  writer.kv("count", 3);
+  writer.kv("enabled", true);
+  writer.key("values");
+  writer.begin_array();
+  writer.value(1.5);
+  writer.null_value();
+  writer.begin_object();
+  writer.kv("nested", std::size_t{7});
+  writer.end_object();
+  writer.end_array();
+  writer.end_object();
+  EXPECT_EQ(writer.str(),
+            R"({"name":"bench","count":3,"enabled":true,"values":[1.5,null,{"nested":7}]})");
+}
+
+TEST(Json, NumberRenderingIsDeterministicAndRoundTrips) {
+  JsonWriter writer;
+  writer.begin_array();
+  writer.value(64.0);             // integral double: no fraction
+  writer.value(0.1);              // needs full round-trip precision
+  writer.value(-2.5);
+  writer.value(std::numeric_limits<double>::infinity());  // JSON has no inf
+  writer.value(std::nan(""));
+  writer.end_array();
+  EXPECT_EQ(writer.str(), "[64,0.10000000000000001,-2.5,null,null]");
+}
+
+TEST(Json, MisuseThrowsInsteadOfEmittingGarbage) {
+  {
+    JsonWriter writer;
+    writer.begin_object();
+    EXPECT_THROW(writer.value(1), std::logic_error);  // value without key()
+  }
+  {
+    JsonWriter writer;
+    writer.begin_array();
+    EXPECT_THROW(writer.key("k"), std::logic_error);  // key inside an array
+    EXPECT_THROW(writer.end_object(), std::logic_error);
+    EXPECT_THROW(static_cast<void>(writer.str()), std::logic_error);  // unclosed
+  }
+  {
+    JsonWriter writer;
+    EXPECT_THROW(static_cast<void>(writer.str()), std::logic_error);  // empty
+    writer.value("top-level scalar");
+    EXPECT_EQ(writer.str(), "\"top-level scalar\"");
+    EXPECT_THROW(writer.value(2), std::logic_error);  // second top-level value
+  }
+  {
+    JsonWriter writer;
+    EXPECT_THROW(writer.value(static_cast<const char*>(nullptr)), std::logic_error);
+  }
 }
 
 // ---------------------------------------------------------------- stopwatch
