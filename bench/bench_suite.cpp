@@ -38,7 +38,9 @@ namespace {
 
 using namespace malsched;
 
-constexpr int kSchemaVersion = 1;
+// v2: adds per-case "iterations" and "allocations" counters (null for
+// solvers that do not report them) -- schema and validator updated together.
+constexpr int kSchemaVersion = 2;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
@@ -56,6 +58,14 @@ struct FamilyConfig {
 std::vector<SolverConfig> all_solver_configs() {
   return {
       {"mrt", "mrt", ""},
+      // The same algorithm without the DualWorkspace fast path (recomputes
+      // canonical allotments/sorts per branch, allocates per step): the
+      // in-artifact before/after for the workspace speedup, byte-identical
+      // schedules by construction.
+      {"mrt-legacy", "mrt", "workspace=0"},
+      // Breakpoint-snapped dual search (different guess sequence, fewer
+      // rejected iterations; same certified-bound soundness).
+      {"mrt-snapped", "mrt", "snap=1"},
       {"two_phase-ffdh", "two_phase", "rigid=ffdh"},
       {"two_phase-list", "two_phase", "rigid=list"},
       {"naive-lpt-seq", "naive", "policy=lpt-seq"},
@@ -95,6 +105,16 @@ std::vector<FamilyConfig> all_family_configs() {
                         options.machines = machines;
                         options.tasks = tasks;
                         return random_out_tree(options, seed).instance();
+                      }});
+  // Wall-clock scaling ladder: the seed index picks n, 2n, 4n, or 8n tasks,
+  // so one sweep measures how each solver's runtime grows with the instance
+  // (at --tasks 1250 the ladder tops out around 10k tasks). Uniform mixed
+  // profiles -- the workload the workspace hot path is sized for.
+  families.push_back({"runtime-scaling", [](int tasks, int machines, std::uint64_t seed) {
+                        GeneratorOptions options;
+                        options.tasks = tasks * (1 << (seed % 4));
+                        options.machines = machines;
+                        return generate_instance(WorkloadFamily::kUniform, options, seed);
                       }});
   return families;
 }
@@ -302,15 +322,30 @@ int main(int argc, char** argv) {
       json.kv("lower_bound", item.result->lower_bound);
       json.kv("ratio", item.result->ratio);
       json.kv("wall_seconds", item.result->wall_seconds);
+      // Schema v2 counters: dual-search iterations and workspace scratch
+      // (re)allocations; null for solvers that do not record them.
+      const auto stat = [&](const char* key) -> const double* {
+        for (const auto& [name, value] : item.result->stats) {
+          if (name == key) return &value;
+        }
+        return nullptr;
+      };
+      const auto kv_optional = [&](const char* field, const double* value) {
+        json.key(field);
+        if (value) {
+          json.value(*value);
+        } else {
+          json.null_value();
+        }
+      };
+      kv_optional("iterations", stat("iterations"));
+      kv_optional("allocations", stat("workspace.allocations"));
     } else {
-      json.key("makespan");
-      json.null_value();
-      json.key("lower_bound");
-      json.null_value();
-      json.key("ratio");
-      json.null_value();
-      json.key("wall_seconds");
-      json.null_value();
+      for (const char* field :
+           {"makespan", "lower_bound", "ratio", "wall_seconds", "iterations", "allocations"}) {
+        json.key(field);
+        json.null_value();
+      }
       if (!item.error.empty()) json.kv("error", item.error);
     }
     json.end_object();

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diff two bench_suite artifacts (BENCH_<rev>.json) cell by cell.
+
+Standard library only, like validate_bench_json.py. Cases are grouped into
+(config, family) cells; for every cell present in both artifacts the mean
+wall-clock and mean makespan ratio are compared, and the wall-clock delta is
+judged against a regression threshold (default +20%). Cells that exist in
+only one artifact are listed but never fail the run (new solvers/families
+join the sweep over time), and v1 artifacts (no per-case counters) compare
+fine against v2 ones -- only the shared fields are read.
+
+Cells whose baseline mean wall-clock sits below the --min-wall floor
+(default 100 us) are printed but never flagged: at that scale the delta is
+timer and scheduler noise, not a regression signal.
+
+Exit status: 0 when no cell regressed, 1 on a wall-clock regression beyond
+the threshold, 2 on usage/IO errors. CI runs this informationally
+(continue-on-error) against the checked-in smoke baseline; run it locally
+against a baseline from the pre-change tree for a real same-machine signal:
+
+  python3 bench/compare_bench_json.py OLD.json NEW.json [--threshold 0.20] [--min-wall 1e-4]
+"""
+
+import json
+import sys
+
+
+def load_cells(path):
+    """(config, family) -> {"wall": mean, "ratio": mean, "count": n} for ok cases."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            artifact = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: cannot read artifact: {err}", file=sys.stderr)
+        sys.exit(2)
+    sums = {}
+    for case in artifact.get("cases", []):
+        if case.get("status") != "ok" or case.get("wall_seconds") is None:
+            continue
+        key = (case.get("config", case.get("solver", "?")), case.get("family", "?"))
+        cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "count": 0})
+        cell["wall"] += case["wall_seconds"]
+        cell["ratio"] += case.get("ratio") or 0.0
+        cell["count"] += 1
+    for cell in sums.values():
+        cell["wall"] /= cell["count"]
+        cell["ratio"] /= cell["count"]
+    return artifact.get("rev", "?"), sums
+
+
+def main(argv):
+    threshold = 0.20
+    min_wall = 1e-4
+    paths = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--threshold":
+            try:
+                threshold = float(next(it))
+            except (StopIteration, ValueError):
+                print("--threshold expects a number", file=sys.stderr)
+                return 2
+        elif arg == "--min-wall":
+            try:
+                min_wall = float(next(it))
+            except (StopIteration, ValueError):
+                print("--min-wall expects a number (seconds)", file=sys.stderr)
+                return 2
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_rev, base = load_cells(paths[0])
+    new_rev, new = load_cells(paths[1])
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print("no (config, family) cells in common; nothing to compare", file=sys.stderr)
+        return 2
+
+    print(f"baseline {base_rev} ({paths[0]}) vs {new_rev} ({paths[1]}), "
+          f"wall regression threshold +{threshold:.0%} "
+          f"(cells under {min_wall * 1e3:g} ms baseline wall exempt as noise)")
+    header = f"{'config':<18} {'family':<16} {'wall old':>10} {'wall new':>10} " \
+             f"{'delta':>8} {'ratio old':>10} {'ratio new':>10}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for key in shared:
+        old_cell, new_cell = base[key], new[key]
+        delta = (new_cell["wall"] - old_cell["wall"]) / old_cell["wall"] \
+            if old_cell["wall"] > 0 else 0.0
+        regressed = delta > threshold and old_cell["wall"] >= min_wall
+        flag = " <-- REGRESSION" if regressed else ""
+        if regressed:
+            regressions.append(key)
+        print(f"{key[0]:<18} {key[1]:<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "
+              f"{delta:>+7.1%} {old_cell['ratio']:>10.4f} {new_cell['ratio']:>10.4f}{flag}")
+    for key in sorted(set(base) - set(new)):
+        print(f"{key[0]:<18} {key[1]:<16} (only in baseline)")
+    for key in sorted(set(new) - set(base)):
+        print(f"{key[0]:<18} {key[1]:<16} (only in new run)")
+
+    if regressions:
+        print(f"\n{len(regressions)} cell(s) regressed more than +{threshold:.0%} wall-clock",
+              file=sys.stderr)
+        return 1
+    print(f"\nno wall-clock regression beyond +{threshold:.0%} across {len(shared)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,9 +4,10 @@
 Standard library only (CI and the dev container both lack jsonschema), so
 this implements the subset of JSON Schema the checked-in schema uses:
 type (string or list, with "integer" meaning an integral number), required,
-properties, items, enum, minimum, and minItems. Unknown schema keywords are
-rejected loudly rather than silently ignored, so the schema cannot drift
-ahead of the validator.
+properties, items, enum, const (pins schema_version, so a v1 artifact fails
+against the v2 schema instead of sliding through), minimum, and minItems.
+Unknown schema keywords are rejected loudly rather than silently ignored, so
+the schema cannot drift ahead of the validator.
 
 usage: validate_bench_json.py SCHEMA ARTIFACT [ARTIFACT...]
 """
@@ -16,7 +17,7 @@ import sys
 
 HANDLED = {
     "$schema", "title", "description",
-    "type", "required", "properties", "items", "enum", "minimum", "minItems",
+    "type", "required", "properties", "items", "enum", "const", "minimum", "minItems",
 }
 
 
@@ -57,6 +58,9 @@ def validate(value, schema, path, errors):
 
     if "enum" in schema and value not in schema["enum"]:
         errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: {value!r} != const {schema['const']!r}")
 
     if "minimum" in schema and isinstance(value, (int, float)) \
             and not isinstance(value, bool) and value < schema["minimum"]:

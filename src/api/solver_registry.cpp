@@ -27,12 +27,20 @@ SolverResult solve_mrt(const Instance& instance, const SolverOptions& options) {
   mrt.enable_two_shelf = options.get_bool("two_shelf", mrt.enable_two_shelf);
   mrt.enable_canonical_list = options.get_bool("canonical_list", mrt.enable_canonical_list);
   mrt.enable_malleable_list = options.get_bool("malleable_list", mrt.enable_malleable_list);
+  mrt.use_workspace = options.get_bool("workspace", mrt.use_workspace);
+  mrt.snap_to_breakpoints = options.get_bool("snap", mrt.snap_to_breakpoints);
   auto result = mrt_schedule(instance, mrt);
 
   SolverResult out{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
   out.stats.emplace_back("iterations", result.iterations);
   out.stats.emplace_back("gaps", result.gaps);
   out.stats.emplace_back("final_guess", result.final_guess);
+  if (mrt.use_workspace) {
+    out.stats.emplace_back("workspace.allocations",
+                           static_cast<double>(result.workspace_allocations));
+    out.stats.emplace_back("workspace.canonical_evals",
+                           static_cast<double>(result.canonical_evals));
+  }
   for (int b = 0; b < kDualBranchCount; ++b) {
     const int count = result.branch_counts[static_cast<std::size_t>(b)];
     if (count > 0) {

@@ -19,7 +19,8 @@
 ///   ----------------  -------------------------------------  -----------------------------
 ///   mrt               sqrt(3) dual approximation (MRT '99)   epsilon, compaction,
 ///                                                            pick_best_branch, two_shelf,
-///                                                            canonical_list, malleable_list
+///                                                            canonical_list, malleable_list,
+///                                                            workspace (default 1), snap
 ///   two_phase         Turek/Ludwig two-phase baseline        rigid=ffdh|nfdh|list,
 ///                                                            max_candidates
 ///   naive             practitioner anchors                   policy=half-speedup|lpt-seq|gang

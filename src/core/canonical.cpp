@@ -1,7 +1,9 @@
 #include "core/canonical.hpp"
 
 #include <algorithm>
+#include <span>
 
+#include "core/dual_workspace.hpp"
 #include "support/math_utils.hpp"
 
 namespace malsched {
@@ -40,22 +42,19 @@ bool property1_holds(const MalleableTask& task, int gamma, double deadline) {
   return task.time(gamma) > bound - kAbsEps;
 }
 
-double canonical_area(const Instance& instance, const CanonicalAllotment& allotment) {
-  if (!allotment.feasible) return 0.0;
-  const int machines = instance.machines();
+namespace {
 
-  std::vector<int> order(static_cast<std::size_t>(instance.size()));
-  for (int i = 0; i < instance.size(); ++i) order[static_cast<std::size_t>(i)] = i;
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return instance.task(a).time(allotment.procs[static_cast<std::size_t>(a)]) >
-           instance.task(b).time(allotment.procs[static_cast<std::size_t>(b)]);
-  });
-
+/// Definition 1's stacking sum, shared by both canonical_area overloads:
+/// `times[i]` must equal t_i(procs[i]) and `order` must list the tasks by
+/// non-increasing time with ties on the lower index (the legacy
+/// stable_sort's order), or the fractional cut lands on the wrong task.
+double stacked_area(std::span<const int> order, std::span<const int> procs,
+                    std::span<const double> times, int machines) {
   double area = 0.0;
   long long procs_used = 0;
   for (const int i : order) {
-    const int gamma = allotment.procs[static_cast<std::size_t>(i)];
-    const double time = instance.task(i).time(gamma);
+    const int gamma = procs[static_cast<std::size_t>(i)];
+    const double time = times[static_cast<std::size_t>(i)];
     if (procs_used + gamma >= machines) {
       // Task k of Definition 1: only the slice up to processor m counts.
       area += static_cast<double>(machines - procs_used) * time;
@@ -65,6 +64,35 @@ double canonical_area(const Instance& instance, const CanonicalAllotment& allotm
     procs_used += gamma;
   }
   return area;  // stacking never filled the first m processors
+}
+
+}  // namespace
+
+double canonical_area(const Instance& instance, const CanonicalAllotment& allotment) {
+  if (!allotment.feasible) return 0.0;
+
+  // Legacy path: one stable_sort per call. Ties keep the lower task index
+  // first -- the workspace path reproduces exactly this permutation (with an
+  // explicit index tie-break), so both overloads stack in the same order.
+  std::vector<int> order(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::vector<double> times(order.size());
+  for (int i = 0; i < instance.size(); ++i) {
+    times[static_cast<std::size_t>(i)] =
+        instance.task(i).time(allotment.procs[static_cast<std::size_t>(i)]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return times[static_cast<std::size_t>(a)] > times[static_cast<std::size_t>(b)];
+  });
+
+  return stacked_area(order, allotment.procs, times, instance.machines());
+}
+
+double canonical_area(DualWorkspace& workspace, const CanonicalAllotment& allotment) {
+  if (!allotment.feasible) return 0.0;
+  const auto order = workspace.canonical_order();
+  return stacked_area(order, allotment.procs, workspace.canonical_times(),
+                      workspace.instance().machines());
 }
 
 double area_threshold(const Instance& instance, double deadline) {

@@ -12,6 +12,8 @@
 /// Everything in the paper's analysis is phrased relative to this allotment.
 namespace malsched {
 
+class DualWorkspace;
+
 /// Canonical allotment of a whole instance for deadline `deadline`.
 struct CanonicalAllotment {
   double deadline{0.0};
@@ -50,6 +52,13 @@ struct CanonicalAllotment {
 ///   W = sum_{j<=k} w_j - (prefix_procs - m) * t_k(gamma_k),
 /// and simply the total canonical work when the sum never reaches m.
 [[nodiscard]] double canonical_area(const Instance& instance,
+                                    const CanonicalAllotment& allotment);
+
+/// Workspace-aware overload: identical value, but the decreasing-time order
+/// comes from the workspace's once-per-step sort (shared with the canonical
+/// list algorithm) instead of a fresh stable_sort per call. `allotment` must
+/// be the workspace's current canonical allotment.
+[[nodiscard]] double canonical_area(DualWorkspace& workspace,
                                     const CanonicalAllotment& allotment);
 
 /// The paper's regime threshold: the knapsack route is guaranteed when

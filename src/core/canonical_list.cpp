@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/canonical.hpp"
+#include "core/dual_workspace.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/sliding.hpp"
 #include "support/math_utils.hpp"
@@ -42,41 +43,34 @@ int find_idle_window(const std::vector<double>& avail, int width) {
   return -1;
 }
 
-}  // namespace
-
-CanonicalListOutcome canonical_list_schedule(const Instance& instance, double deadline,
-                                             const CanonicalListOptions& options) {
-  CanonicalListOutcome outcome;
-  const auto canonical = canonical_allotment(instance, deadline);
-  if (certified_infeasible(instance, canonical)) return outcome;
-
-  outcome.canonical_area = canonical_area(instance, canonical);
-  outcome.area_condition =
-      leq(outcome.canonical_area, options.mu * static_cast<double>(instance.machines()) *
-                                      deadline);
-
-  const auto& allotment = canonical.procs;
-  const auto order = order_by_decreasing_alloted_time(instance, allotment);
-
-  if (!options.use_reallocation) {
-    outcome.schedule = list_schedule(instance, allotment, order);
-    return outcome;
-  }
-
-  // List scheduling with the appendix's one-shot reallocation: the first
-  // task forced off the first level may instead be squeezed, narrower, onto
-  // processors still idle at time 0.
+/// List scheduling with the appendix's one-shot reallocation, shared by both
+/// canonical_list_schedule overloads: the first task forced off the first
+/// level may instead be squeezed, narrower, onto processors still idle at
+/// time 0. All working storage is caller-owned so the workspace path runs
+/// allocation-free (the legacy path passes locals).
+Schedule reallocation_schedule(const Instance& instance, std::span<const int> allotment,
+                               std::span<const int> order, int khat, bool& reallocated,
+                               CanonicalListScratch& scratch) {
   const int machines = instance.machines();
-  const int khat = reallocation_width(options.mu);
   Schedule schedule(machines, instance.size());
-  std::vector<double> avail(static_cast<std::size_t>(machines), 0.0);
+  auto& avail = scratch.avail;
+  detail::resize_counted(avail, static_cast<std::size_t>(machines), scratch.alloc_events);
+  std::fill(avail.begin(), avail.end(), 0.0);
+  if (scratch.ready.capacity() < static_cast<std::size_t>(machines) ||
+      scratch.window.capacity() < static_cast<std::size_t>(machines)) {
+    ++scratch.alloc_events;
+    scratch.ready.reserve(static_cast<std::size_t>(machines));
+    scratch.window.reserve(static_cast<std::size_t>(machines));
+  }
   bool reallocation_considered = false;
+  reallocated = false;
 
   for (const int task : order) {
     const int procs = allotment[static_cast<std::size_t>(task)];
     const double duration = instance.task(task).time(procs);
 
-    const auto ready = sliding_window_max(avail, procs);
+    sliding_window_max_into(avail, procs, scratch.ready, scratch.window);
+    const auto& ready = scratch.ready;
     double earliest = std::numeric_limits<double>::infinity();
     for (const double r : ready) earliest = std::min(earliest, r);
     const bool starts_at_zero = approx_eq(earliest, 0.0);
@@ -95,7 +89,7 @@ CanonicalListOutcome canonical_list_schedule(const Instance& instance, double de
         for (int j = column; j < column + width; ++j) {
           avail[static_cast<std::size_t>(j)] = squeezed;
         }
-        outcome.reallocated = true;
+        reallocated = true;
         continue;
       }
     }
@@ -122,8 +116,63 @@ CanonicalListOutcome canonical_list_schedule(const Instance& instance, double de
       avail[static_cast<std::size_t>(j)] = earliest + duration;
     }
   }
+  return schedule;
+}
 
-  outcome.schedule = std::move(schedule);
+}  // namespace
+
+CanonicalListOutcome canonical_list_schedule(const Instance& instance, double deadline,
+                                             const CanonicalListOptions& options) {
+  CanonicalListOutcome outcome;
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) return outcome;
+
+  outcome.canonical_area = canonical_area(instance, canonical);
+  outcome.area_condition =
+      leq(outcome.canonical_area, options.mu * static_cast<double>(instance.machines()) *
+                                      deadline);
+
+  const auto& allotment = canonical.procs;
+  const auto order = order_by_decreasing_alloted_time(instance, allotment);
+
+  if (!options.use_reallocation) {
+    outcome.schedule = list_schedule(instance, allotment, order);
+    return outcome;
+  }
+
+  CanonicalListScratch scratch;
+  outcome.schedule = reallocation_schedule(instance, allotment, order,
+                                           reallocation_width(options.mu), outcome.reallocated,
+                                           scratch);
+  return outcome;
+}
+
+CanonicalListOutcome canonical_list_schedule(DualWorkspace& workspace, double deadline,
+                                             const CanonicalListOptions& options) {
+  const Instance& instance = workspace.instance();
+  CanonicalListOutcome outcome;
+  const auto& canonical = workspace.canonical(deadline);
+  if (certified_infeasible(instance, canonical)) return outcome;
+
+  outcome.canonical_area = canonical_area(workspace, canonical);
+  outcome.area_condition =
+      leq(outcome.canonical_area, options.mu * static_cast<double>(instance.machines()) *
+                                      deadline);
+
+  // The workspace order is the same permutation order_by_decreasing_alloted_time
+  // produces (decreasing t_i(gamma_i), ties on the lower index), computed at
+  // most once per dual step.
+  const auto order = workspace.canonical_order();
+  const auto& allotment = canonical.procs;
+
+  if (!options.use_reallocation) {
+    outcome.schedule = list_schedule(instance, allotment, order);
+    return outcome;
+  }
+
+  outcome.schedule = reallocation_schedule(instance, allotment, order,
+                                           reallocation_width(options.mu), outcome.reallocated,
+                                           workspace.list_scratch());
   return outcome;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "model/instance.hpp"
 #include "sched/schedule.hpp"
@@ -26,6 +27,17 @@
 /// doubles the execution time (work monotonicity), keeping it within
 /// 2*mu*d, and removes the pathological stair that forces large m_mu.
 namespace malsched {
+
+class DualWorkspace;
+
+/// Reusable buffers for the workspace-aware canonical-list path (processor
+/// availability, sliding-window maxima, and the monotone-queue ring).
+struct CanonicalListScratch {
+  std::vector<double> avail;
+  std::vector<double> ready;
+  std::vector<int> window;
+  long long alloc_events{0};
+};
 
 struct CanonicalListOptions {
   /// Regime parameter; the paper's choice is sqrt(3)/2.
@@ -58,5 +70,13 @@ struct CanonicalListOutcome {
 /// Runs the algorithm for guess `deadline`.
 [[nodiscard]] CanonicalListOutcome canonical_list_schedule(
     const Instance& instance, double deadline, const CanonicalListOptions& options = {});
+
+/// Workspace-aware overload: byte-identical outcome, but the canonical
+/// allotment, area, and priority order come from the workspace's shared
+/// per-step cache (one sort per dual step instead of one per branch) and the
+/// list loop runs out of reused scratch -- only the returned Schedule
+/// allocates.
+[[nodiscard]] CanonicalListOutcome canonical_list_schedule(
+    DualWorkspace& workspace, double deadline, const CanonicalListOptions& options = {});
 
 }  // namespace malsched

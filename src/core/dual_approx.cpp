@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "model/lower_bounds.hpp"
 
 namespace malsched {
+
+double dual_ramp_start(const Instance& instance) {
+  const double static_lb = makespan_lower_bound(instance);
+  if (static_lb > 0.0) return static_lb;
+  double smallest = std::numeric_limits<double>::infinity();
+  for (const auto& task : instance.tasks()) {
+    for (const double t : task.profile()) smallest = std::min(smallest, t);
+  }
+  return std::isfinite(smallest) ? smallest : 1.0;
+}
 
 DualSearchResult dual_search(const Instance& instance, const DualStep& step,
                              const DualSearchOptions& options) {
@@ -38,8 +49,11 @@ DualSearchResult dual_search(const Instance& instance, const DualStep& step,
   };
 
   // Phase 1: ramp the guess up from the static lower bound until accepted.
+  // dual_ramp_start guards the degenerate zero-bound case (empty instance),
+  // where `hi *= 2.0` could never escape 0.0; for every non-degenerate
+  // instance it equals static_lb, leaving the guess sequence untouched.
   double lo = static_lb;
-  double hi = static_lb;
+  double hi = dual_ramp_start(instance);
   bool have_hi = false;
   while (iterations < options.max_iterations && !have_hi) {
     ++iterations;

@@ -55,4 +55,11 @@ struct DualSearchResult {
 [[nodiscard]] DualSearchResult dual_search(const Instance& instance, const DualStep& step,
                                            const DualSearchOptions& options = {});
 
+/// The phase-1 ramp seed: the static lower bound when positive, otherwise
+/// the smallest profile time (and 1.0 for an empty instance). The guard
+/// matters because a zero seed can never escape the `hi *= 2` ramp -- a
+/// degenerate empty instance with a picky step used to burn the whole
+/// iteration budget at guess 0 and throw. Shared with dual_search_snapped.
+[[nodiscard]] double dual_ramp_start(const Instance& instance);
+
 }  // namespace malsched

@@ -1,9 +1,11 @@
 #include "core/mrt_scheduler.hpp"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/canonical.hpp"
+#include "core/dual_workspace.hpp"
 #include "core/malleable_list.hpp"
 #include "packing/shelf.hpp"
 #include "sched/compaction.hpp"
@@ -60,20 +62,22 @@ std::optional<Schedule> single_shelf_schedule(const Instance& instance,
   return schedule;
 }
 
-}  // namespace
-
-MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
-                             const MrtOptions& options) {
+/// The dual step's case split, shared by the legacy and workspace overloads:
+/// the policy lambdas decide where the canonical allotment, area, and the
+/// two-shelf / canonical-list branches come from; the control flow (and
+/// therefore the outcome) is identical either way.
+template <class AreaFn, class TwoShelfFn, class ListFn>
+MrtDualOutcome dual_step_impl(const Instance& instance, const CanonicalAllotment& canonical,
+                              double deadline, const MrtOptions& options, AreaFn&& area,
+                              TwoShelfFn&& run_two_shelf, ListFn&& run_canonical_list) {
   MrtDualOutcome outcome;
-
-  const auto canonical = canonical_allotment(instance, deadline);
   if (certified_infeasible(instance, canonical)) {
     outcome.branch = DualBranch::kRejected;
     outcome.certified_reject = true;
     return outcome;
   }
 
-  outcome.canonical_area = canonical_area(instance, canonical);
+  outcome.canonical_area = area(canonical);
   outcome.area_condition = leq(outcome.canonical_area, area_threshold(instance, deadline));
 
   struct Attempt {
@@ -99,7 +103,7 @@ MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
   // the other, then to the small-m malleable list algorithm.
   const auto try_two_shelf = [&] {
     if (!options.enable_two_shelf || done()) return;
-    auto result = two_shelf_schedule(instance, deadline, options.two_shelf);
+    auto result = run_two_shelf();
     if (result.schedule) {
       const auto branch = result.used_trivial ? DualBranch::kTwoShelfTrivial
                                               : DualBranch::kTwoShelfKnapsack;
@@ -108,7 +112,7 @@ MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
   };
   const auto try_canonical_list = [&] {
     if (!options.enable_canonical_list || done()) return;
-    auto result = canonical_list_schedule(instance, deadline, options.canonical_list);
+    auto result = run_canonical_list();
     consider(DualBranch::kCanonicalList, std::move(result.schedule));
   };
 
@@ -136,10 +140,39 @@ MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
   return outcome;
 }
 
+}  // namespace
+
+MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
+                             const MrtOptions& options) {
+  const auto canonical = canonical_allotment(instance, deadline);
+  return dual_step_impl(
+      instance, canonical, deadline, options,
+      [&](const CanonicalAllotment& c) { return canonical_area(instance, c); },
+      [&] { return two_shelf_schedule(instance, deadline, options.two_shelf); },
+      [&] { return canonical_list_schedule(instance, deadline, options.canonical_list); });
+}
+
+MrtDualOutcome mrt_dual_step(DualWorkspace& workspace, double deadline,
+                             const MrtOptions& options) {
+  const Instance& instance = workspace.instance();
+  // One canonical allotment per step: the branches below re-request the same
+  // deadline and hit the workspace cache instead of recomputing.
+  const auto& canonical = workspace.canonical(deadline);
+  return dual_step_impl(
+      instance, canonical, deadline, options,
+      [&](const CanonicalAllotment& c) { return canonical_area(workspace, c); },
+      [&] { return two_shelf_schedule(workspace, deadline, options.two_shelf); },
+      [&] { return canonical_list_schedule(workspace, deadline, options.canonical_list); });
+}
+
 MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options) {
   std::array<int, kDualBranchCount> branch_counts{};
+  std::optional<DualWorkspace> workspace;
+  if (options.use_workspace) workspace.emplace(instance);
+
   const DualStep step = [&](double guess) {
-    auto outcome = mrt_dual_step(instance, guess, options);
+    auto outcome = workspace ? mrt_dual_step(*workspace, guess, options)
+                             : mrt_dual_step(instance, guess, options);
     ++branch_counts[static_cast<std::size_t>(outcome.branch)];
     DualStepResult result;
     result.schedule = std::move(outcome.schedule);
@@ -147,7 +180,9 @@ MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options) {
     return result;
   };
 
-  auto search = dual_search(instance, step, options.search);
+  auto search = workspace && options.snap_to_breakpoints
+                    ? dual_search_snapped(*workspace, step, options.search)
+                    : dual_search(instance, step, options.search);
   MrtResult result{std::move(search.schedule),
                    search.makespan,
                    search.certified_lower_bound,
@@ -155,7 +190,14 @@ MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options) {
                    search.final_guess,
                    search.iterations,
                    search.gaps,
-                   branch_counts};
+                   branch_counts,
+                   0,
+                   0};
+  if (workspace) {
+    const auto stats = workspace->stats();
+    result.workspace_allocations = stats.alloc_events;
+    result.canonical_evals = stats.canonical_evals;
+  }
   return result;
 }
 

@@ -60,6 +60,17 @@ struct MrtOptions {
   /// Evaluate every branch and keep the shortest accepted schedule instead
   /// of stopping at the first success (ablation; slower, never worse).
   bool pick_best_branch{false};
+  /// Run the search through a DualWorkspace (breakpoint-indexed gamma
+  /// lookups, one canonical allotment + sort per step shared across
+  /// branches, allocation-free rejected steps). Byte-identical schedules and
+  /// bounds to the recompute-everything path (property-tested); disable only
+  /// for A/B measurements.
+  bool use_workspace{true};
+  /// Replace the blind geometric dual search with the breakpoint-snapped
+  /// variant (requires use_workspace). Fewer rejected guesses; the guess
+  /// sequence -- hence the exact schedule -- may differ from the default
+  /// search, so this is opt-in.
+  bool snap_to_breakpoints{false};
 };
 
 /// Result of one dual step at a fixed guess (exposed for tests/benches).
@@ -75,6 +86,11 @@ struct MrtDualOutcome {
 [[nodiscard]] MrtDualOutcome mrt_dual_step(const Instance& instance, double deadline,
                                            const MrtOptions& options = {});
 
+/// Workspace-aware overload: byte-identical outcome, with the canonical
+/// allotment, area sort, and branch scratch shared through `workspace`.
+[[nodiscard]] MrtDualOutcome mrt_dual_step(DualWorkspace& workspace, double deadline,
+                                           const MrtOptions& options = {});
+
 /// Full solve: dichotomic search over guesses.
 struct MrtResult {
   Schedule schedule;
@@ -86,6 +102,11 @@ struct MrtResult {
   int gaps{0};
   /// How often each branch fired across the search, indexed by DualBranch.
   std::array<int, kDualBranchCount> branch_counts{};
+  /// Workspace counters (0 on the legacy path): scratch growths across the
+  /// whole solve -- the hot loop's allocation audit -- and canonical
+  /// allotments actually computed vs. served from the per-step cache.
+  long long workspace_allocations{0};
+  long long canonical_evals{0};
 };
 
 [[nodiscard]] MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options = {});

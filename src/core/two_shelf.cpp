@@ -1,9 +1,11 @@
 #include "core/two_shelf.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/canonical.hpp"
+#include "core/dual_workspace.hpp"
 #include "knapsack/knapsack.hpp"
 #include "packing/first_fit.hpp"
 #include "packing/shelf.hpp"
@@ -13,25 +15,23 @@ namespace malsched {
 
 namespace {
 
-/// A task of S1 that may migrate to the second shelf.
-struct MigrantCandidate {
-  int task{0};
-  int gamma{0};         ///< canonical processors for deadline d
-  int gamma_lambda{0};  ///< minimal processors for deadline lambda*d
-};
+using detail::TwoShelfMigrant;
 
 struct Partition {
-  std::vector<int> s1;  ///< tall tasks, t_i(gamma_i) > lambda*d
-  std::vector<int> s2;  ///< medium tasks, d/2 < t <= lambda*d
-  std::vector<int> s3;  ///< small sequential tasks, t <= d/2
+  std::vector<int>* s1;  ///< tall tasks, t_i(gamma_i) > lambda*d
+  std::vector<int>* s2;  ///< medium tasks, d/2 < t <= lambda*d
+  std::vector<int>* s3;  ///< small sequential tasks, t <= d/2
   long long q1{0};
   long long q2{0};
   long long q3{0};
 };
 
 Partition make_partition(const Instance& instance, const CanonicalAllotment& canonical,
-                         double deadline, double lambda) {
-  Partition part;
+                         double deadline, double lambda, TwoShelfScratch& scratch) {
+  Partition part{&scratch.s1, &scratch.s2, &scratch.s3, 0, 0, 0};
+  scratch.s1.clear();
+  scratch.s2.clear();
+  scratch.s3.clear();
   const double lambda_d = lambda * deadline;
   const double half_d = deadline / 2.0;
   long long s1_procs = 0;
@@ -39,23 +39,22 @@ Partition make_partition(const Instance& instance, const CanonicalAllotment& can
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     const double time = instance.task(i).time(gamma);
     if (!leq(time, lambda_d)) {
-      part.s1.push_back(i);
+      scratch.s1.push_back(i);
       s1_procs += gamma;
     } else if (gamma == 1 && leq(time, half_d)) {
       // Property 1 makes every t <= d/2 task sequential; the gamma check is
       // numerical defensiveness only.
-      part.s3.push_back(i);
+      scratch.s3.push_back(i);
     } else {
-      part.s2.push_back(i);
+      scratch.s2.push_back(i);
       part.q2 += gamma;
     }
   }
   part.q1 = s1_procs - instance.machines();
-  if (!part.s3.empty()) {
-    std::vector<double> sizes;
-    sizes.reserve(part.s3.size());
-    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
-    part.q3 = first_fit_bin_count(sizes, lambda_d);
+  if (!scratch.s3.empty()) {
+    scratch.sizes.clear();
+    for (const int i : scratch.s3) scratch.sizes.push_back(instance.task(i).time(1));
+    part.q3 = first_fit_bin_count_reusing(scratch.sizes, lambda_d, scratch.ff_loads);
   }
   return part;
 }
@@ -69,19 +68,20 @@ std::optional<Schedule> build_lambda_schedule(const Instance& instance,
                                               const CanonicalAllotment& canonical,
                                               const Partition& part, double deadline,
                                               double lambda,
-                                              const std::vector<MigrantCandidate>& migrants) {
+                                              const std::vector<TwoShelfMigrant>& migrants,
+                                              TwoShelfScratch& scratch) {
   const int machines = instance.machines();
   const double lambda_d = lambda * deadline;
   Schedule schedule(machines, instance.size());
 
-  std::vector<char> migrated(static_cast<std::size_t>(instance.size()), 0);
+  scratch.migrated.assign(static_cast<std::size_t>(instance.size()), 0);
   for (const auto& candidate : migrants) {
-    migrated[static_cast<std::size_t>(candidate.task)] = 1;
+    scratch.migrated[static_cast<std::size_t>(candidate.task)] = 1;
   }
 
   ShelfAllocator shelf1(machines);
-  for (const int i : part.s1) {
-    if (migrated[static_cast<std::size_t>(i)]) continue;
+  for (const int i : *part.s1) {
+    if (scratch.migrated[static_cast<std::size_t>(i)]) continue;
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     const auto column = shelf1.allocate(gamma);
     if (!column) return std::nullopt;
@@ -96,23 +96,23 @@ std::optional<Schedule> build_lambda_schedule(const Instance& instance,
                     instance.task(candidate.task).time(candidate.gamma_lambda), *column,
                     candidate.gamma_lambda);
   }
-  for (const int i : part.s2) {
+  for (const int i : *part.s2) {
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     const auto column = shelf2.allocate(gamma);
     if (!column) return std::nullopt;
     schedule.assign(i, deadline, instance.task(i).time(gamma), *column, gamma);
   }
-  if (!part.s3.empty()) {
-    std::vector<double> sizes;
-    sizes.reserve(part.s3.size());
-    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
-    const auto packing = first_fit(sizes, lambda_d);
+  if (!part.s3->empty()) {
+    // scratch.sizes still holds the S3 sequential times from make_partition;
+    // the packing is rebuilt into reused storage (identical to first_fit()).
+    first_fit_into(scratch.sizes, lambda_d, scratch.ff_packing);
+    const auto& packing = scratch.ff_packing;
     for (int b = 0; b < packing.bin_count(); ++b) {
       const auto column = shelf2.allocate(1);
       if (!column) return std::nullopt;
       double offset = 0.0;
       for (const int item : packing.bins[static_cast<std::size_t>(b)]) {
-        const int task = part.s3[static_cast<std::size_t>(item)];
+        const int task = (*part.s3)[static_cast<std::size_t>(item)];
         const double time = instance.task(task).time(1);
         schedule.assign(task, deadline + offset, time, *column, 1);
         offset += time;
@@ -127,36 +127,35 @@ std::optional<Schedule> build_lambda_schedule(const Instance& instance,
 std::optional<Schedule> build_trivial_schedule(const Instance& instance,
                                                const CanonicalAllotment& canonical,
                                                const Partition& part, double deadline,
-                                               double lambda, const MigrantCandidate& lone) {
+                                               double lambda, const TwoShelfMigrant& lone,
+                                               TwoShelfScratch& scratch) {
   const int machines = instance.machines();
   const double lambda_d = lambda * deadline;
   Schedule schedule(machines, instance.size());
 
   ShelfAllocator shelf1(machines);
-  for (const int i : part.s1) {
+  for (const int i : *part.s1) {
     if (i == lone.task) continue;
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     const auto column = shelf1.allocate(gamma);
     if (!column) return std::nullopt;
     schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
   }
-  for (const int i : part.s2) {
+  for (const int i : *part.s2) {
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     const auto column = shelf1.allocate(gamma);
     if (!column) return std::nullopt;
     schedule.assign(i, 0.0, instance.task(i).time(gamma), *column, gamma);
   }
-  if (!part.s3.empty()) {
-    std::vector<double> sizes;
-    sizes.reserve(part.s3.size());
-    for (const int i : part.s3) sizes.push_back(instance.task(i).time(1));
-    const auto packing = first_fit(sizes, lambda_d);
+  if (!part.s3->empty()) {
+    first_fit_into(scratch.sizes, lambda_d, scratch.ff_packing);
+    const auto& packing = scratch.ff_packing;
     for (int b = 0; b < packing.bin_count(); ++b) {
       const auto column = shelf1.allocate(1);
       if (!column) return std::nullopt;
       double offset = 0.0;
       for (const int item : packing.bins[static_cast<std::size_t>(b)]) {
-        const int task = part.s3[static_cast<std::size_t>(item)];
+        const int task = (*part.s3)[static_cast<std::size_t>(item)];
         const double time = instance.task(task).time(1);
         schedule.assign(task, offset, time, *column, 1);
         offset += time;
@@ -172,21 +171,19 @@ std::optional<Schedule> build_trivial_schedule(const Instance& instance,
   return schedule;
 }
 
-}  // namespace
-
-TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
-                                   const TwoShelfOptions& options) {
+/// The Section-4 case analysis shared by both overloads. `gamma_lambda(i)`
+/// resolves min procs for deadline lambda*d (the workspace path answers it
+/// from the breakpoint index, byte-identically to the profile binary
+/// search). `canonical` must already have survived the Property-2 test.
+template <class GammaLambdaFn>
+TwoShelfOutcome two_shelf_run(const Instance& instance, const CanonicalAllotment& canonical,
+                              double deadline, const TwoShelfOptions& options,
+                              TwoShelfScratch& scratch, GammaLambdaFn&& gamma_lambda) {
   TwoShelfOutcome outcome;
-  const auto canonical = canonical_allotment(instance, deadline);
-  if (certified_infeasible(instance, canonical)) {
-    outcome.certified_reject = true;
-    return outcome;
-  }
-
-  const auto part = make_partition(instance, canonical, deadline, options.lambda);
-  outcome.s1_count = static_cast<int>(part.s1.size());
-  outcome.s2_count = static_cast<int>(part.s2.size());
-  outcome.s3_count = static_cast<int>(part.s3.size());
+  const auto part = make_partition(instance, canonical, deadline, options.lambda, scratch);
+  outcome.s1_count = static_cast<int>(part.s1->size());
+  outcome.s2_count = static_cast<int>(part.s2->size());
+  outcome.s3_count = static_cast<int>(part.s3->size());
   outcome.q1 = part.q1;
   outcome.q2 = part.q2;
   outcome.q3 = part.q3;
@@ -195,10 +192,12 @@ TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
 
   // Knapsack candidates: S1 tasks that *can* meet the lambda*d deadline.
   const double lambda_d = options.lambda * deadline;
-  std::vector<MigrantCandidate> candidates;
-  std::vector<KnapsackItem> items;
-  for (const int i : part.s1) {
-    const auto gl = instance.task(i).min_procs_for(lambda_d);
+  auto& candidates = scratch.candidates;
+  auto& items = scratch.items;
+  candidates.clear();
+  items.clear();
+  for (const int i : *part.s1) {
+    const auto gl = gamma_lambda(i, lambda_d);
     if (!gl || *gl > instance.machines()) continue;
     const int gamma = canonical.procs[static_cast<std::size_t>(i)];
     candidates.push_back({i, gamma, *gl});
@@ -206,12 +205,13 @@ TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
   }
 
   const auto select_to_schedule = [&](const KnapsackSelection& selection) {
-    std::vector<MigrantCandidate> migrants;
-    migrants.reserve(selection.items.size());
+    auto& migrants = scratch.migrants;
+    migrants.clear();
     for (const int idx : selection.items) {
       migrants.push_back(candidates[static_cast<std::size_t>(idx)]);
     }
-    return build_lambda_schedule(instance, canonical, part, deadline, options.lambda, migrants);
+    return build_lambda_schedule(instance, canonical, part, deadline, options.lambda, migrants,
+                                 scratch);
   };
 
   if (capacity >= 0) {
@@ -233,7 +233,9 @@ TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
 
     KnapsackSelection selection;
     if (options.knapsack == KnapsackMode::kExact) {
-      selection = knapsack_exact(items, capacity);
+      // knapsack_exact_auto degrades to branch and bound instead of
+      // std::length_error when the DP table would blow the memory guard.
+      selection = knapsack_exact_auto(items, capacity, scratch.knapsack);
     } else {
       selection = knapsack_fptas(items, capacity, options.fptas_eps);
       if (selection.profit < part.q1 && part.q1 > 0) {
@@ -261,7 +263,7 @@ TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
     for (const auto& candidate : candidates) {
       if (candidate.gamma >= part.q1 + part.q2 + part.q3) {
         if (auto schedule = build_trivial_schedule(instance, canonical, part, deadline,
-                                                   options.lambda, candidate)) {
+                                                   options.lambda, candidate, scratch)) {
           outcome.used_trivial = true;
           outcome.schedule = std::move(schedule);
           return outcome;
@@ -269,6 +271,56 @@ TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
       }
     }
   }
+  return outcome;
+}
+
+}  // namespace
+
+TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
+                                   const TwoShelfOptions& options) {
+  const auto canonical = canonical_allotment(instance, deadline);
+  if (certified_infeasible(instance, canonical)) {
+    TwoShelfOutcome outcome;
+    outcome.certified_reject = true;
+    return outcome;
+  }
+  TwoShelfScratch scratch;
+  return two_shelf_run(instance, canonical, deadline, options, scratch,
+                       [&](int i, double lambda_d) {
+                         return instance.task(i).min_procs_for(lambda_d);
+                       });
+}
+
+TwoShelfOutcome two_shelf_schedule(DualWorkspace& workspace, double deadline,
+                                   const TwoShelfOptions& options) {
+  const Instance& instance = workspace.instance();
+  const auto& canonical = workspace.canonical(deadline);
+  if (certified_infeasible(instance, canonical)) {
+    TwoShelfOutcome outcome;
+    outcome.certified_reject = true;
+    return outcome;
+  }
+  auto& scratch = workspace.two_shelf_scratch();
+  // Capacity fingerprint before/after: an attempt that grew any scratch
+  // buffer counts one allocation event, keeping the workspace's
+  // allocation-free-after-warm-up claim auditable for this branch too.
+  const auto capacity_fingerprint = [&] {
+    std::size_t fingerprint = scratch.s1.capacity() + scratch.s2.capacity() +
+                              scratch.s3.capacity() + scratch.sizes.capacity() +
+                              scratch.candidates.capacity() + scratch.migrants.capacity() +
+                              scratch.items.capacity() + scratch.migrated.capacity() +
+                              scratch.ff_loads.capacity() + scratch.ff_packing.loads.capacity() +
+                              scratch.ff_packing.bins.capacity();
+    for (const auto& bin : scratch.ff_packing.bins) fingerprint += bin.capacity();
+    return fingerprint;
+  };
+  const std::size_t before = capacity_fingerprint();
+  auto outcome = two_shelf_run(instance, canonical, deadline, options, scratch,
+                               [&](int i, double lambda_d) {
+                                 return workspace.min_procs_for(i, lambda_d,
+                                                                DualWorkspace::kSecondary);
+                               });
+  if (capacity_fingerprint() != before) ++scratch.alloc_events;
   return outcome;
 }
 

@@ -3,7 +3,9 @@
 #include <optional>
 #include <vector>
 
+#include "knapsack/knapsack.hpp"
 #include "model/instance.hpp"
+#include "packing/first_fit.hpp"
 #include "sched/schedule.hpp"
 
 /// The knapsack-based two-shelf construction of Section 4.
@@ -35,6 +37,40 @@
 /// linear-time "trivial solution" (one huge task alone on shelf 2) yields a
 /// feasible lambda-schedule -- total length (1 + lambda)*d = sqrt(3)*d.
 namespace malsched {
+
+class DualWorkspace;
+
+namespace detail {
+
+/// An S1 task that may migrate to the second shelf (the knapsack's ground
+/// set); exposed here only so TwoShelfScratch can reuse its storage.
+struct TwoShelfMigrant {
+  int task{0};
+  int gamma{0};         ///< canonical processors for deadline d
+  int gamma_lambda{0};  ///< minimal processors for deadline lambda*d
+};
+
+}  // namespace detail
+
+/// Reusable buffers for the workspace-aware two-shelf path: one per
+/// DualWorkspace, cleared (capacity retained) on every attempt so a dual
+/// step allocates nothing here after warm-up. `alloc_events` counts the
+/// attempts on which some buffer's capacity grew (audited by the workspace
+/// overload of two_shelf_schedule).
+struct TwoShelfScratch {
+  std::vector<int> s1;
+  std::vector<int> s2;
+  std::vector<int> s3;
+  std::vector<double> sizes;  ///< S3 sequential times (First Fit input)
+  std::vector<detail::TwoShelfMigrant> candidates;
+  std::vector<detail::TwoShelfMigrant> migrants;
+  std::vector<KnapsackItem> items;
+  std::vector<char> migrated;
+  std::vector<double> ff_loads;  ///< First Fit bin loads for q3 counting
+  BinPacking ff_packing;         ///< reused S3 packing for schedule builds
+  KnapsackScratch knapsack;
+  long long alloc_events{0};
+};
 
 /// Knapsack backend for the allotment selection.
 enum class KnapsackMode {
@@ -75,6 +111,14 @@ struct TwoShelfOutcome {
 
 /// Attempts to build a lambda-schedule for guess `deadline`.
 [[nodiscard]] TwoShelfOutcome two_shelf_schedule(const Instance& instance, double deadline,
+                                                 const TwoShelfOptions& options = {});
+
+/// Workspace-aware overload: identical outcome byte for byte, but the
+/// canonical allotment is shared through the workspace's per-step cache, the
+/// gamma^lambda lookups use the breakpoint index, and every intermediate
+/// container (partition, candidates, knapsack DP tables, First Fit loads)
+/// lives in reused scratch -- only an accepted Schedule allocates.
+[[nodiscard]] TwoShelfOutcome two_shelf_schedule(DualWorkspace& workspace, double deadline,
                                                  const TwoShelfOptions& options = {});
 
 }  // namespace malsched

@@ -21,37 +21,49 @@ inline constexpr std::size_t kDpCellGuard = std::size_t{1} << 29;  // 512 MB
 
 }  // namespace detail
 
-KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long capacity) {
+bool knapsack_exact_exceeds_guard(std::span<const KnapsackItem> items, long long capacity) {
+  if (capacity < 0 || items.empty()) return false;
+  return items.size() * (static_cast<std::size_t>(capacity) + 1) > detail::kDpCellGuard;
+}
+
+KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long capacity,
+                                 KnapsackScratch& scratch) {
   detail::validate_items(items);
   KnapsackSelection result;
   if (capacity < 0 || items.empty()) return result;
 
   const auto n = items.size();
   const auto cap = static_cast<std::size_t>(capacity);
-  if (n * (cap + 1) > detail::kDpCellGuard) {
+  if (knapsack_exact_exceeds_guard(items, capacity)) {
     throw std::length_error("knapsack_exact: DP table exceeds memory guard; use knapsack_fptas");
   }
 
   // best[c] = max profit using a prefix of items within capacity c;
-  // take[i][c] records whether item i was used at residual capacity c.
-  std::vector<long long> best(cap + 1, 0);
-  std::vector<std::vector<char>> take(n, std::vector<char>(cap + 1, 0));
+  // take[i * (cap+1) + c] records whether item i was used at residual
+  // capacity c (flattened row-per-item layout so the scratch is one buffer).
+  auto& best = scratch.best;
+  auto& take = scratch.take;
+  if (best.capacity() < cap + 1) ++scratch.alloc_events;
+  best.assign(cap + 1, 0);
+  if (take.capacity() < n * (cap + 1)) ++scratch.alloc_events;
+  take.assign(n * (cap + 1), 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto w = static_cast<std::size_t>(items[i].weight);
     const long long p = items[i].profit;
     if (w > cap) continue;
+    char* const take_row = take.data() + i * (cap + 1);
     for (std::size_t c = cap + 1; c-- > w;) {
       const long long candidate = best[c - w] + p;
       if (candidate > best[c]) {
         best[c] = candidate;
-        take[i][c] = 1;
+        take_row[c] = 1;
       }
     }
   }
 
   std::size_t c = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][c]) {
+    if (take[i * (cap + 1) + c]) {
       result.items.push_back(static_cast<int>(i));
       result.weight += items[i].weight;
       result.profit += items[i].profit;
@@ -60,6 +72,26 @@ KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long 
   }
   std::reverse(result.items.begin(), result.items.end());
   return result;
+}
+
+KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long capacity) {
+  KnapsackScratch scratch;
+  return knapsack_exact(items, capacity, scratch);
+}
+
+KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items, long long capacity,
+                                      KnapsackScratch& scratch) {
+  if (knapsack_exact_exceeds_guard(items, capacity)) {
+    // Same optimum, O(n) memory; only the tie-broken subset may differ from
+    // the DP's choice, and only on inputs the DP would have refused.
+    return knapsack_branch_and_bound(items, capacity);
+  }
+  return knapsack_exact(items, capacity, scratch);
+}
+
+KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items, long long capacity) {
+  KnapsackScratch scratch;
+  return knapsack_exact_auto(items, capacity, scratch);
 }
 
 }  // namespace malsched

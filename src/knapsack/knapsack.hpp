@@ -34,11 +34,43 @@ struct KnapsackSelection {
   long long profit{0};
 };
 
+/// Reusable DP buffers for the exact solver: profit row + flattened choice
+/// table. Callers that solve many knapsacks (the two-shelf dual loop) keep
+/// one scratch alive so the per-call heap allocations disappear after
+/// warm-up; `alloc_events` counts the growths that did happen.
+struct KnapsackScratch {
+  std::vector<long long> best;
+  std::vector<char> take;
+  long long alloc_events{0};
+};
+
 /// Exact pseudo-polynomial DP, O(n * capacity) time and memory [13].
 /// Throws std::invalid_argument on negative inputs and std::length_error when
 /// the DP table would exceed an internal memory guard (~512 MB).
 [[nodiscard]] KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items,
                                                long long capacity);
+
+/// As above, with caller-owned scratch (identical selection, no per-call
+/// allocation once the scratch has warmed up).
+[[nodiscard]] KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items,
+                                               long long capacity, KnapsackScratch& scratch);
+
+/// True when knapsack_exact would refuse `items` x `capacity` because the DP
+/// choice table would exceed the ~512 MB memory guard.
+[[nodiscard]] bool knapsack_exact_exceeds_guard(std::span<const KnapsackItem> items,
+                                                long long capacity);
+
+/// Exact solve that never trips the memory guard: the pseudo-polynomial DP
+/// when the table fits, depth-first branch and bound (O(n) memory) when the
+/// capacity is too large -- so a huge-capacity instance degrades to a slower
+/// exact search instead of a std::length_error.
+[[nodiscard]] KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items,
+                                                    long long capacity);
+
+/// As above, with caller-owned DP scratch for the in-guard path.
+[[nodiscard]] KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items,
+                                                    long long capacity,
+                                                    KnapsackScratch& scratch);
 
 /// Fully polynomial approximation scheme: profit within (1 - eps) of optimal,
 /// weight within capacity, O(n^2 * n/eps) time via profit scaling [13].

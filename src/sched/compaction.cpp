@@ -9,23 +9,30 @@ namespace malsched {
 Schedule compact_schedule(const Schedule& schedule, const Instance& instance) {
   std::vector<int> order(static_cast<std::size_t>(schedule.num_tasks()));
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return schedule.of(a).start < schedule.of(b).start;
+  // Equal starts keep the lower task index first -- the same permutation the
+  // previous stable_sort produced, without its temporary buffer (this runs
+  // on every accepted dual-search step).
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = schedule.of(a).start;
+    const double sb = schedule.of(b).start;
+    if (sa != sb) return sa < sb;
+    return a < b;
   });
 
   Schedule compacted(schedule.machines(), schedule.num_tasks());
   std::vector<double> avail(static_cast<std::size_t>(schedule.machines()), 0.0);
   for (const int task : order) {
     const auto& assignment = schedule.of(task);
-    const auto processors = assignment.processor_list();
     double start = 0.0;
-    for (const int p : processors) start = std::max(start, avail[static_cast<std::size_t>(p)]);
-    for (const int p : processors) avail[static_cast<std::size_t>(p)] = start + assignment.duration;
+    assignment.for_each_processor(
+        [&](int p) { start = std::max(start, avail[static_cast<std::size_t>(p)]); });
+    assignment.for_each_processor(
+        [&](int p) { avail[static_cast<std::size_t>(p)] = start + assignment.duration; });
     if (assignment.contiguous()) {
       compacted.assign(task, start, assignment.duration, assignment.first_proc,
                        assignment.num_procs);
     } else {
-      compacted.assign_scattered(task, start, assignment.duration, processors);
+      compacted.assign_scattered(task, start, assignment.duration, assignment.scattered);
     }
   }
   // The instance parameter pins the schedule/instance pairing at the call

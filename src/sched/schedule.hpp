@@ -32,6 +32,18 @@ struct Assignment {
 
   /// Materializes the processor indices (contiguous or scattered).
   [[nodiscard]] std::vector<int> processor_list() const;
+
+  /// Visits every processor index without materializing a list -- the
+  /// allocation-free traversal hot paths (validator, compaction) use. Keeps
+  /// the contiguous-vs-scattered representation knowledge in one place.
+  template <class Visitor>
+  void for_each_processor(Visitor&& visit) const {
+    if (contiguous()) {
+      for (int p = first_proc; p < first_proc + num_procs; ++p) visit(p);
+    } else {
+      for (const int p : scattered) visit(p);
+    }
+  }
 };
 
 /// A (possibly partial) schedule on `machines` processors for `num_tasks`

@@ -52,29 +52,46 @@ ValidationReport validate_schedule(const Schedule& schedule, const Instance& ins
     if (assignment.start < -kAbsEps) {
       report.fail("task " + std::to_string(i) + ": negative start time");
     }
-    const auto processors = assignment.processor_list();
-    if (processors.front() < 0 || processors.back() >= instance.machines()) {
+    // Contiguous placements need no materialized processor list: the
+    // interval endpoints carry the same information (this validator runs on
+    // every accepted dual-search step, so it stays allocation-lean).
+    const int first = assignment.contiguous() ? assignment.first_proc
+                                              : assignment.scattered.front();
+    const int last = assignment.contiguous() ? assignment.first_proc + assignment.num_procs - 1
+                                             : assignment.scattered.back();
+    if (first < 0 || last >= instance.machines()) {
       report.fail("task " + std::to_string(i) + ": processor index outside the machine");
     }
   }
   if (!report.ok) return report;
 
   // Pairwise overlap: two tasks sharing a processor must be time-disjoint.
-  // Sweep per processor keeps this O(total_procs log + collisions).
-  std::vector<std::vector<int>> on_proc(static_cast<std::size_t>(instance.machines()));
+  // Sweep per processor keeps this O(total_procs log + collisions); the
+  // (processor, task) incidence lives in one flat bucket-sorted array.
+  const auto machines = static_cast<std::size_t>(instance.machines());
+  std::vector<std::size_t> bucket_end(machines + 1, 0);
   for (int i = 0; i < instance.size(); ++i) {
-    for (const int p : schedule.of(i).processor_list()) {
-      on_proc[static_cast<std::size_t>(p)].push_back(i);
+    schedule.of(i).for_each_processor(
+        [&](int p) { ++bucket_end[static_cast<std::size_t>(p) + 1]; });
+  }
+  for (std::size_t p = 0; p < machines; ++p) bucket_end[p + 1] += bucket_end[p];
+  std::vector<int> on_proc(bucket_end.back());
+  {
+    std::vector<std::size_t> cursor(bucket_end.begin(), bucket_end.end() - 1);
+    for (int i = 0; i < instance.size(); ++i) {
+      schedule.of(i).for_each_processor(
+          [&](int p) { on_proc[cursor[static_cast<std::size_t>(p)]++] = i; });
     }
   }
-  for (int p = 0; p < instance.machines(); ++p) {
-    auto& tasks = on_proc[static_cast<std::size_t>(p)];
-    std::sort(tasks.begin(), tasks.end(), [&](int a, int b) {
+  for (std::size_t p = 0; p < machines; ++p) {
+    const auto begin = on_proc.begin() + static_cast<std::ptrdiff_t>(bucket_end[p]);
+    const auto end = on_proc.begin() + static_cast<std::ptrdiff_t>(bucket_end[p + 1]);
+    std::sort(begin, end, [&](int a, int b) {
       return schedule.of(a).start < schedule.of(b).start;
     });
-    for (std::size_t k = 1; k < tasks.size(); ++k) {
-      const auto& prev = schedule.of(tasks[k - 1]);
-      const auto& next = schedule.of(tasks[k]);
+    for (auto it = begin; it != end && it + 1 != end; ++it) {
+      const auto& prev = schedule.of(*it);
+      const auto& next = schedule.of(*(it + 1));
       if (!leq(prev.end(), next.start)) {
         report.fail("tasks " + std::to_string(prev.task) + " and " + std::to_string(next.task) +
                     " overlap on processor " + std::to_string(p));

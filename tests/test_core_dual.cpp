@@ -177,6 +177,33 @@ TEST(DualSearch, UncertifiedRejectionsCountAsGaps) {
   EXPECT_NEAR(result.certified_lower_bound, makespan_lower_bound(instance), 1e-12);
 }
 
+TEST(DualSearch, EscapesZeroStaticLowerBound) {
+  // An empty instance has a static lower bound of 0; before the ramp guard,
+  // phase 1 could never escape `hi *= 2.0` from 0.0 and a step that only
+  // accepts larger guesses exhausted the whole iteration budget and threw.
+  const Instance instance(2, {});
+  ASSERT_EQ(makespan_lower_bound(instance), 0.0);
+  EXPECT_EQ(dual_ramp_start(instance), 1.0);  // empty-profile fallback seed
+
+  int steps = 0;
+  const DualStep step = [&](double guess) {
+    ++steps;
+    DualStepResult result;
+    if (guess >= 5.0) result.schedule = Schedule(2, 0);
+    return result;
+  };
+  const auto result = dual_search(instance, step, {});
+  EXPECT_GE(result.final_guess, 5.0);
+  EXPECT_LE(result.final_guess, 5.0 * 1.03);
+  EXPECT_LE(steps, 16);  // 1, 2, 4, 8 ramp plus the geometric bisection
+}
+
+TEST(DualSearch, RampStartEqualsStaticBoundOnRegularInstances) {
+  // The guard must not perturb the guess sequence of any real instance.
+  const auto instance = packed_instance(8, 3);
+  EXPECT_EQ(dual_ramp_start(instance), makespan_lower_bound(instance));
+}
+
 TEST(DualSearch, RejectsBadEpsilon) {
   std::vector<MalleableTask> tasks;
   tasks.emplace_back(sequential_profile(1.0, 2));

@@ -153,6 +153,57 @@ TEST(Knapsack, ExactMemoryGuardThrows) {
   EXPECT_THROW(knapsack_exact(items, 1LL << 40), std::length_error);
 }
 
+TEST(Knapsack, ExactWithScratchMatchesPlainExact) {
+  Rng rng(5150);
+  KnapsackScratch scratch;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    const auto items = random_items(rng, n, 20, 30);
+    const long long capacity = rng.uniform_int(0, 60);
+    const auto plain = knapsack_exact(items, capacity);
+    const auto reused = knapsack_exact(items, capacity, scratch);
+    EXPECT_EQ(plain.items, reused.items);
+    EXPECT_EQ(plain.weight, reused.weight);
+    EXPECT_EQ(plain.profit, reused.profit);
+  }
+  // The scratch warms up once per high-water mark, then stops allocating.
+  const auto items = random_items(rng, 12, 20, 30);
+  (void)knapsack_exact(items, 60, scratch);  // establishes the high-water mark
+  const auto warmed = scratch.alloc_events;
+  (void)knapsack_exact(items, 60, scratch);
+  (void)knapsack_exact(items, 30, scratch);
+  EXPECT_EQ(scratch.alloc_events, warmed);
+}
+
+TEST(Knapsack, ExactAutoFallsBackToBranchAndBoundOverTheGuard) {
+  // A capacity huge enough that the DP table would blow the ~512 MB guard:
+  // knapsack_exact throws, knapsack_exact_auto must solve it exactly via
+  // branch and bound instead of propagating std::length_error (the two-shelf
+  // construction relies on this for huge-machine instances).
+  const long long capacity = 1LL << 40;
+  std::vector<KnapsackItem> items;
+  items.push_back({capacity / 2, 10});
+  items.push_back({capacity / 2, 9});
+  items.push_back({capacity / 2 + 1, 25});
+  items.push_back({3, 1});
+  ASSERT_TRUE(knapsack_exact_exceeds_guard(items, capacity));
+  EXPECT_THROW(knapsack_exact(items, capacity), std::length_error);
+
+  const auto sel = knapsack_exact_auto(items, capacity);
+  EXPECT_EQ(sel.profit, 26);  // {capacity/2 + 1, 25} + {3, 1}
+  EXPECT_LE(selection_weight(items, sel), capacity);
+  EXPECT_EQ(selection_profit(items, sel), sel.profit);
+
+  // In-guard inputs keep taking the byte-identical DP route.
+  Rng rng(99);
+  const auto small = random_items(rng, 10, 20, 30);
+  ASSERT_FALSE(knapsack_exact_exceeds_guard(small, 50));
+  const auto via_auto = knapsack_exact_auto(small, 50);
+  const auto via_dp = knapsack_exact(small, 50);
+  EXPECT_EQ(via_auto.items, via_dp.items);
+  EXPECT_EQ(via_auto.profit, via_dp.profit);
+}
+
 TEST(Knapsack, FptasRejectsBadEps) {
   const std::vector<KnapsackItem> items{{1, 1}};
   EXPECT_THROW(knapsack_fptas(items, 1, 0.0), std::invalid_argument);
