@@ -2,11 +2,13 @@
 // solvers x workload families that replaces the free-form text output of the
 // per-experiment bench mains with a machine-readable artifact.
 //
-// Every case dispatches through the SolverRegistry via the exec/BatchRunner
-// fan-out (the production batch path), and the result lands in
-// BENCH_<rev>.json: per case, the makespan ratio against the certified lower
-// bound, wall time (steady clock), solver, options, family, seed, and size.
-// CI runs `bench_suite --smoke` on every PR, validates the file against
+// Every case dispatches through the SchedulerService (the production serving
+// path: persistent workers, ordered delivery, optional solve cache), and the
+// result lands in BENCH_<rev>.json: per case, the makespan ratio against the
+// certified lower bound, wall time (steady clock, worker-observed -- a cache
+// hit records its serving latency, not the original solve), solver, options,
+// family, seed, size, and whether the solve cache served it. CI runs
+// `bench_suite --smoke` on every PR, validates the file against
 // bench/bench_schema.json, and uploads it -- the perf trajectory of the repo
 // is the sequence of these files.
 //
@@ -24,8 +26,9 @@
 #include <string>
 #include <vector>
 
-#include "api/solve_batch.hpp"
+#include "api/scheduler_service.hpp"
 #include "graph/task_graph.hpp"
+#include "support/stopwatch.hpp"
 #include "support/parallel_for.hpp"
 #include "support/json.hpp"
 #include "support/statistics.hpp"
@@ -38,15 +41,17 @@ namespace {
 
 using namespace malsched;
 
-// v2: adds per-case "iterations" and "allocations" counters (null for
-// solvers that do not report them) -- schema and validator updated together.
-constexpr int kSchemaVersion = 2;
+// v3: cases run through the SchedulerService and gain a "cache_hit" field
+// (bool; null when the case produced no result); wall_seconds is now the
+// worker-observed serving time -- schema and validator updated together.
+constexpr int kSchemaVersion = 3;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
   std::string name;    ///< display/selection name, e.g. "two_phase-ffdh"
   std::string solver;  ///< registry name
   std::string options; ///< option spec string
+  bool cached{false};  ///< consult/populate the service solve cache
 };
 
 /// One swept workload family; `make` draws the instance for a seed.
@@ -66,6 +71,14 @@ std::vector<SolverConfig> all_solver_configs() {
       // Breakpoint-snapped dual search (different guess sequence, fewer
       // rejected iterations; same certified-bound soundness).
       {"mrt-snapped", "mrt", "snap=1"},
+      // mrt through the service solve cache: on the repeated family every
+      // seed after the first is a content-hash hit (deterministically so at
+      // --threads 1, which is how the committed trajectory artifacts are
+      // recorded; with more workers, racing duplicates can each miss before
+      // the first insert lands, so the hit count wobbles -- which is why
+      // compare_bench_json exempts cells whose hit fraction changed). The
+      // cell's mean wall against plain "mrt" is the measured cache speedup.
+      {"mrt-cached", "mrt", "", /*cached=*/true},
       {"two_phase-ffdh", "two_phase", "rigid=ffdh"},
       {"two_phase-list", "two_phase", "rigid=list"},
       {"naive-lpt-seq", "naive", "policy=lpt-seq"},
@@ -106,6 +119,19 @@ std::vector<FamilyConfig> all_family_configs() {
                         options.tasks = tasks;
                         return random_out_tree(options, seed).instance();
                       }});
+  // Repeated-instance workload: every seed draws the SAME instance (a queue
+  // daemon re-evaluating one snapshot), which is what the solve cache is
+  // for -- sweep it with mrt-cached vs mrt for the measured speedup.
+  families.push_back({"repeated", [](int tasks, int machines, std::uint64_t) {
+                        GeneratorOptions options;
+                        options.tasks = tasks;
+                        options.machines = machines;
+                        // Fixed seed OUTSIDE the sweep's 9000+s range so the
+                        // cell's first case is a genuine miss (the content
+                        // hash would otherwise hit the uniform family's
+                        // same-seed instance from earlier in the sweep).
+                        return generate_instance(WorkloadFamily::kUniform, options, 777);
+                      }});
   // Wall-clock scaling ladder: the seed index picks n, 2n, 4n, or 8n tasks,
   // so one sweep measures how each solver's runtime grows with the instance
   // (at --tasks 1250 the ladder tops out around 10k tasks). Uniform mixed
@@ -114,7 +140,12 @@ std::vector<FamilyConfig> all_family_configs() {
                         GeneratorOptions options;
                         options.tasks = tasks * (1 << (seed % 4));
                         options.machines = machines;
-                        return generate_instance(WorkloadFamily::kUniform, options, seed);
+                        // Family-unique seed base: rung 0 has the same task
+                        // count as the plain uniform family, and an
+                        // identical (content-hashed!) instance would turn
+                        // the cached config's scaling rungs into cache hits.
+                        return generate_instance(WorkloadFamily::kUniform, options,
+                                                 40000 + seed);
                       }});
   return families;
 }
@@ -228,10 +259,18 @@ int main(int argc, char** argv) {
       std::cout << "solver configs:\n";
       for (const auto& config : all_solver_configs()) {
         std::cout << "  " << config.name << "  (" << config.solver
-                  << (config.options.empty() ? "" : ", " + config.options) << ")\n";
+                  << (config.options.empty() ? "" : ", " + config.options)
+                  << (config.cached ? ", solve cache on" : "") << ")\n";
       }
       std::cout << "families:\n";
       for (const auto& family : all_family_configs()) std::cout << "  " << family.name << "\n";
+      // Per-solver option help straight from the registry's OptionSpec
+      // tables -- the same source the CLI and the validation path use.
+      std::cout << "solver options:\n";
+      const auto& registry = SolverRegistry::global();
+      for (const auto& name : registry.names()) {
+        std::cout << "  " << name << ":\n" << registry.option_help(name, "    ");
+      }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
@@ -275,6 +314,7 @@ int main(int argc, char** argv) {
 
   std::vector<CaseMeta> cases;
   std::vector<BatchJob> jobs;
+  std::vector<bool> cached_flags;
   for (const auto& solver : solvers) {
     const auto options = SolverOptions::from_string(solver.options);
     for (std::size_t f = 0; f < families.size(); ++f) {
@@ -284,13 +324,41 @@ int main(int argc, char** argv) {
         cases.push_back({&solver, &families[f], 9000 + static_cast<std::uint64_t>(s),
                          instance->size(), instance->machines()});
         jobs.push_back({solver.solver, options, instance});
+        cached_flags.push_back(solver.cached);
       }
     }
   }
 
-  BatchRunnerOptions batch;
-  batch.threads = threads;
-  const BatchReport report = solve_batch(jobs, batch);
+  // The production serving path: one long-lived service, jobs submitted in
+  // case order, outcomes collected by ticket. Only configs marked `cached`
+  // consult the solve cache, so plain configs keep measuring real solves.
+  ServiceOptions service_options;
+  service_options.threads = threads;
+  const Stopwatch run_stopwatch;
+  SchedulerService service(service_options);
+  std::vector<JobTicket> tickets;
+  tickets.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SubmitOptions submit;
+    submit.cache = cached_flags[i];
+    tickets.push_back(service.submit(std::move(jobs[i]), submit));
+  }
+  service.drain();
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (const auto ticket : tickets) outcomes.push_back(service.wait(ticket));
+  const double run_wall = run_stopwatch.seconds();
+  const ServiceStats service_stats = service.stats();
+  std::size_t ok_count = 0;
+  std::size_t error_count = 0;
+  std::size_t cancelled_count = 0;
+  for (const auto& outcome : outcomes) {
+    switch (outcome.status) {
+      case BatchItemStatus::kOk: ++ok_count; break;
+      case BatchItemStatus::kError: ++error_count; break;
+      case BatchItemStatus::kCancelled: ++cancelled_count; break;
+    }
+  }
 
   // ------------------------------------------------------------- artifact
   JsonWriter json;
@@ -298,16 +366,16 @@ int main(int argc, char** argv) {
   json.kv("schema_version", kSchemaVersion);
   json.kv("rev", rev);
   json.kv("smoke", smoke);
-  json.kv("threads", report.threads);
-  json.kv("ok", report.ok);
-  json.kv("errors", report.errors);
-  json.kv("cancelled", report.cancelled);
-  json.kv("wall_seconds", report.wall_seconds);
+  json.kv("threads", service.threads());
+  json.kv("ok", ok_count);
+  json.kv("errors", error_count);
+  json.kv("cancelled", cancelled_count);
+  json.kv("wall_seconds", run_wall);
   json.key("cases");
   json.begin_array();
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto& meta = cases[i];
-    const auto& item = report.items[i];
+    const auto& outcome = outcomes[i];
     json.begin_object();
     json.kv("solver", meta.solver->solver);
     json.kv("config", meta.solver->name);
@@ -316,16 +384,19 @@ int main(int argc, char** argv) {
     json.kv("seed", meta.seed);
     json.kv("tasks", meta.tasks);
     json.kv("machines", meta.machines);
-    json.kv("status", to_string(item.status));
-    if (item.result) {
-      json.kv("makespan", item.result->makespan);
-      json.kv("lower_bound", item.result->lower_bound);
-      json.kv("ratio", item.result->ratio);
-      json.kv("wall_seconds", item.result->wall_seconds);
-      // Schema v2 counters: dual-search iterations and workspace scratch
+    json.kv("status", to_string(outcome.status));
+    if (outcome.result) {
+      json.kv("makespan", outcome.result->makespan);
+      json.kv("lower_bound", outcome.result->lower_bound);
+      json.kv("ratio", outcome.result->ratio);
+      // Serving-path wall: what this case cost the service worker. A cache
+      // hit is near-zero here even though result->wall_seconds still carries
+      // the original solve's cost.
+      json.kv("wall_seconds", outcome.wall_seconds);
+      // v2 counters: dual-search iterations and workspace scratch
       // (re)allocations; null for solvers that do not record them.
       const auto stat = [&](const char* key) -> const double* {
-        for (const auto& [name, value] : item.result->stats) {
+        for (const auto& [name, value] : outcome.result->stats) {
           if (name == key) return &value;
         }
         return nullptr;
@@ -340,13 +411,14 @@ int main(int argc, char** argv) {
       };
       kv_optional("iterations", stat("iterations"));
       kv_optional("allocations", stat("workspace.allocations"));
+      json.kv("cache_hit", outcome.cache_hit);
     } else {
-      for (const char* field :
-           {"makespan", "lower_bound", "ratio", "wall_seconds", "iterations", "allocations"}) {
+      for (const char* field : {"makespan", "lower_bound", "ratio", "wall_seconds",
+                                "iterations", "allocations", "cache_hit"}) {
         json.key(field);
         json.null_value();
       }
-      if (!item.error.empty()) json.kv("error", item.error);
+      if (!outcome.error.empty()) json.kv("error", outcome.error);
     }
     json.end_object();
   }
@@ -367,29 +439,38 @@ int main(int argc, char** argv) {
 
   // ------------------------------------------------------ console summary
   std::cout << "bench_suite: " << cases.size() << " cases (" << solvers.size() << " solvers x "
-            << families.size() << " families x " << seeds << " seeds) on " << report.threads
-            << " threads in " << cell(report.wall_seconds, 2) << " s -> " << out_path << "\n\n";
+            << families.size() << " families x " << seeds << " seeds) on " << service.threads()
+            << " threads in " << cell(run_wall, 2) << " s -> " << out_path << "\n";
+  if (service_stats.cache_misses + service_stats.cache_hits > 0) {
+    std::cout << "solve cache: " << service_stats.cache_hits << " hits / "
+              << service_stats.cache_misses << " misses ("
+              << service_stats.cache_evictions << " evictions, "
+              << service_stats.cache_entries << " resident)\n";
+  }
+  std::cout << "\n";
 
-  Table table({"config", "ratio mean", "ratio max", "wall ms mean"});
+  Table table({"config", "ratio mean", "ratio max", "wall ms mean", "cache hits"});
   for (const auto& solver : solvers) {
     Summary ratios;
     Summary walls;
+    std::size_t hits = 0;
     for (std::size_t i = 0; i < cases.size(); ++i) {
-      if (cases[i].solver != &solver || !report.items[i].result) continue;
-      ratios.add(report.items[i].result->ratio);
-      walls.add(report.items[i].result->wall_seconds * 1e3);
+      if (cases[i].solver != &solver || !outcomes[i].result) continue;
+      ratios.add(outcomes[i].result->ratio);
+      walls.add(outcomes[i].wall_seconds * 1e3);
+      if (outcomes[i].cache_hit) ++hits;
     }
     if (ratios.count() == 0) continue;
     table.add_row({solver.name, cell(ratios.mean(), 3), cell(ratios.max(), 3),
-                   cell(walls.mean(), 2)});
+                   cell(walls.mean(), 2), cell(hits)});
   }
   table.print(std::cout);
 
-  if (report.errors > 0) {
-    std::cerr << "\n" << report.errors << " case(s) failed:\n";
-    for (const auto& item : report.items) {
-      if (item.status == BatchItemStatus::kError) {
-        std::cerr << "  case " << item.index << ": " << item.error << "\n";
+  if (error_count > 0) {
+    std::cerr << "\n" << error_count << " case(s) failed:\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].status == BatchItemStatus::kError) {
+        std::cerr << "  case " << i << ": " << outcomes[i].error << "\n";
       }
     }
     return 1;

@@ -3,15 +3,19 @@
 
 Standard library only, like validate_bench_json.py. Cases are grouped into
 (config, family) cells; for every cell present in both artifacts the mean
-wall-clock and mean makespan ratio are compared, and the wall-clock delta is
-judged against a regression threshold (default +20%). Cells that exist in
-only one artifact are listed but never fail the run (new solvers/families
-join the sweep over time), and v1 artifacts (no per-case counters) compare
-fine against v2 ones -- only the shared fields are read.
+wall-clock, mean makespan ratio, and solve-cache hit fraction are compared,
+and the wall-clock delta is judged against a regression threshold (default
++20%). Cells that exist in only one artifact are listed but never fail the
+run (new solvers/families join the sweep over time), and older artifacts
+(v1: no per-case counters; v2: no cache_hit) compare fine against v3 ones --
+missing fields read as absent/zero.
 
 Cells whose baseline mean wall-clock sits below the --min-wall floor
 (default 100 us) are printed but never flagged: at that scale the delta is
-timer and scheduler noise, not a regression signal.
+timer and scheduler noise, not a regression signal. Cells whose cache hit
+fraction CHANGED between the runs are annotated and exempted too: a wall
+delta caused by more (or fewer) cache hits reflects cache behavior, not
+solver performance.
 
 Exit status: 0 when no cell regressed, 1 on a wall-clock regression beyond
 the threshold, 2 on usage/IO errors. CI runs this informationally
@@ -26,7 +30,11 @@ import sys
 
 
 def load_cells(path):
-    """(config, family) -> {"wall": mean, "ratio": mean, "count": n} for ok cases."""
+    """(config, family) -> means over ok cases: wall, ratio, cache-hit fraction.
+
+    cache_hit is a v3 field; absent (older artifacts) or null counts as a
+    non-hit, so pre-cache baselines read as a 0.0 hit fraction.
+    """
     try:
         with open(path, encoding="utf-8") as f:
             artifact = json.load(f)
@@ -38,13 +46,15 @@ def load_cells(path):
         if case.get("status") != "ok" or case.get("wall_seconds") is None:
             continue
         key = (case.get("config", case.get("solver", "?")), case.get("family", "?"))
-        cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "count": 0})
+        cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "hits": 0.0, "count": 0})
         cell["wall"] += case["wall_seconds"]
         cell["ratio"] += case.get("ratio") or 0.0
+        cell["hits"] += 1.0 if case.get("cache_hit") else 0.0
         cell["count"] += 1
     for cell in sums.values():
         cell["wall"] /= cell["count"]
         cell["ratio"] /= cell["count"]
+        cell["hits"] /= cell["count"]
     return artifact.get("rev", "?"), sums
 
 
@@ -84,9 +94,10 @@ def main(argv):
 
     print(f"baseline {base_rev} ({paths[0]}) vs {new_rev} ({paths[1]}), "
           f"wall regression threshold +{threshold:.0%} "
-          f"(cells under {min_wall * 1e3:g} ms baseline wall exempt as noise)")
+          f"(cells under {min_wall * 1e3:g} ms baseline wall exempt as noise; "
+          f"cells whose cache-hit fraction changed exempt as cache behavior)")
     header = f"{'config':<18} {'family':<16} {'wall old':>10} {'wall new':>10} " \
-             f"{'delta':>8} {'ratio old':>10} {'ratio new':>10}"
+             f"{'delta':>8} {'ratio old':>10} {'ratio new':>10} {'hit% old':>9} {'hit% new':>9}"
     print(header)
     print("-" * len(header))
     regressions = []
@@ -94,12 +105,16 @@ def main(argv):
         old_cell, new_cell = base[key], new[key]
         delta = (new_cell["wall"] - old_cell["wall"]) / old_cell["wall"] \
             if old_cell["wall"] > 0 else 0.0
-        regressed = delta > threshold and old_cell["wall"] >= min_wall
+        hits_changed = abs(new_cell["hits"] - old_cell["hits"]) > 1e-9
+        regressed = delta > threshold and old_cell["wall"] >= min_wall and not hits_changed
         flag = " <-- REGRESSION" if regressed else ""
+        if hits_changed and delta > threshold:
+            flag = " (wall delta tracks cache-hit change; exempt)"
         if regressed:
             regressions.append(key)
         print(f"{key[0]:<18} {key[1]:<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "
-              f"{delta:>+7.1%} {old_cell['ratio']:>10.4f} {new_cell['ratio']:>10.4f}{flag}")
+              f"{delta:>+7.1%} {old_cell['ratio']:>10.4f} {new_cell['ratio']:>10.4f} "
+              f"{old_cell['hits']:>8.0%} {new_cell['hits']:>8.0%}{flag}")
     for key in sorted(set(base) - set(new)):
         print(f"{key[0]:<18} {key[1]:<16} (only in baseline)")
     for key in sorted(set(new) - set(base)):

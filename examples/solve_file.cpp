@@ -106,9 +106,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--list-algos") {
+      // One-liner plus the per-option help table, both rendered from the
+      // registry's OptionSpec tables (the same source validation uses).
       const auto& registry = SolverRegistry::global();
       for (const auto& name : registry.names()) {
-        std::cout << name << "  --  " << registry.description(name) << "\n";
+        std::cout << name << "  --  " << registry.description(name) << "\n"
+                  << registry.option_help(name, "      ");
       }
       return 0;
     } else if (arg == "--family") {

@@ -1,0 +1,332 @@
+#include "api/scheduler_service.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "core/dual_workspace.hpp"
+#include "support/stopwatch.hpp"
+
+namespace malsched {
+
+namespace {
+
+/// Per-worker mrt scratch: the workspace of the last instance this thread
+/// solved, plus a shared_ptr that pins that instance so the raw address
+/// comparison below can never hit a recycled allocation. Thread-local on the
+/// pool threads (each service owns its threads, so services never share
+/// scratch); reset when the thread exits.
+struct WorkerScratch {
+  std::shared_ptr<const Instance> instance;
+  std::unique_ptr<DualWorkspace> workspace;
+};
+thread_local WorkerScratch tls_scratch;
+
+DualWorkspace* thread_workspace(const std::shared_ptr<const Instance>& job_instance,
+                                const Instance& requested, bool& reused) {
+  // Defensive: the provider promises a workspace for exactly the requested
+  // instance; a solver asking about anything else gets a decline.
+  if (&requested != job_instance.get()) return nullptr;
+  if (tls_scratch.workspace != nullptr && tls_scratch.instance.get() == &requested) {
+    reused = true;
+    return tls_scratch.workspace.get();
+  }
+  // Build first, then swap the keepalive: the old workspace stays backed by
+  // the old instance until both are replaced.
+  auto fresh = std::make_unique<DualWorkspace>(requested);
+  tls_scratch.workspace = std::move(fresh);
+  tls_scratch.instance = job_instance;
+  return tls_scratch.workspace.get();
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry : &SolverRegistry::global()),
+      cache_(options.cache ? options.cache_capacity : 0),
+      pool_(options.threads) {}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+void SchedulerService::on_result(ResultCallback callback) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!slots_.empty()) {
+    throw std::logic_error(
+        "SchedulerService: on_result() must be installed before the first submit() "
+        "(a stream starting mid-run would miss delivered outcomes)");
+  }
+  callback_ = std::move(callback);
+}
+
+JobTicket SchedulerService::enqueue_locked(BatchJob job, SubmitOptions options) {
+  if (!accepting_) {
+    throw std::runtime_error("SchedulerService: submit() after shutdown()");
+  }
+  const std::uint64_t id = slots_.size();
+  slots_.push_back(Slot{std::move(job), options, JobState::kQueued, JobOutcome{}});
+  ++stats_.submitted;
+  // Posting under the state lock is safe (the pool never calls back into the
+  // service while holding its own lock) and makes accepting_ imply a live
+  // pool, so this post cannot throw.
+  pool_.post([this, id] { run_job(id); });
+  return JobTicket{id};
+}
+
+JobTicket SchedulerService::submit(BatchJob job, SubmitOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return enqueue_locked(std::move(job), options);
+}
+
+std::vector<JobTicket> SchedulerService::submit(std::vector<BatchJob> jobs,
+                                                SubmitOptions options) {
+  std::vector<JobTicket> tickets;
+  tickets.reserve(jobs.size());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& job : jobs) {
+    tickets.push_back(enqueue_locked(std::move(job), options));
+  }
+  return tickets;
+}
+
+void SchedulerService::run_job(std::uint64_t id) {
+  std::string solver;
+  SolverOptions solver_options;
+  std::shared_ptr<const Instance> instance;
+  bool use_cache = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[id];
+    if (slot.state != JobState::kQueued) return;  // cancelled before start
+    slot.state = JobState::kRunning;
+    solver = slot.job.solver;
+    solver_options = slot.job.options;
+    instance = slot.job.instance;
+    use_cache = cache_.enabled() && slot.submit_options.cache;
+  }
+
+  const Stopwatch stopwatch;
+  JobOutcome outcome;
+  outcome.ticket = id;
+
+  std::optional<SolveCache::Key> key;
+  if (use_cache) {
+    key = SolveCache::make_key(solver, solver_options, instance);
+    if (const auto cached = cache_.lookup(*key)) {
+      outcome.status = BatchItemStatus::kOk;
+      outcome.result = *cached;  // copied outside the cache lock
+      outcome.cache_hit = true;
+      outcome.wall_seconds = stopwatch.seconds();
+      finish(id, std::move(outcome), /*reused_workspace=*/false);
+      return;
+    }
+  }
+
+  bool reused_workspace = false;
+  SolveContext context;
+  if (options_.reuse_workspaces) {
+    context.workspace_provider = [&instance, &reused_workspace](const Instance& requested) {
+      return thread_workspace(instance, requested, reused_workspace);
+    };
+  }
+  try {
+    outcome.result = registry_->solve(solver, *instance, solver_options, context);
+    outcome.status = BatchItemStatus::kOk;
+  } catch (const std::exception& err) {
+    outcome.status = BatchItemStatus::kError;
+    outcome.error = err.what();
+  } catch (...) {
+    outcome.status = BatchItemStatus::kError;
+    outcome.error = "non-standard exception";
+  }
+  if (outcome.status == BatchItemStatus::kOk && key.has_value()) {
+    cache_.insert(*key, *outcome.result);
+  }
+  outcome.wall_seconds = stopwatch.seconds();
+  finish(id, std::move(outcome), reused_workspace);
+}
+
+namespace {
+
+/// Terminal slots never read their job again (run_job copies what it needs
+/// at dequeue); dropping the payload here keeps a long-lived service from
+/// pinning every Instance it ever saw. Outcomes stay poll()-able.
+void release_job_payload(BatchJob& job) {
+  job.instance.reset();
+  job.options = SolverOptions{};
+  job.solver.clear();
+  job.solver.shrink_to_fit();
+}
+
+}  // namespace
+
+void SchedulerService::finish(std::uint64_t id, JobOutcome outcome, bool reused_workspace) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[id];
+    slot.outcome = std::move(outcome);
+    slot.state = JobState::kDone;
+    release_job_payload(slot.job);
+    switch (slot.outcome.status) {
+      case BatchItemStatus::kOk: ++stats_.completed; break;
+      case BatchItemStatus::kError: ++stats_.failed; break;
+      case BatchItemStatus::kCancelled: ++stats_.cancelled; break;
+    }
+    if (reused_workspace) ++stats_.workspace_reuses;
+  }
+  done_cv_.notify_all();
+  deliver_ready();
+}
+
+void SchedulerService::deliver_ready() {
+  // Single-deliverer protocol, re-entrancy-safe: exactly one thread at a
+  // time walks next_delivery_ forward (pinning ticket order); every other
+  // caller -- a worker finishing out of order, cancel() from another
+  // thread, or cancel() invoked INSIDE the callback currently being
+  // delivered -- just flags a rescan and returns. The active deliverer
+  // re-checks the flag before retiring, so a slot that turns terminal
+  // mid-delivery is never stranded. (A plain delivery mutex would deadlock
+  // the documented cancel-in-callback case.)
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    delivery_requested_ = true;
+    if (delivering_) return;
+    delivering_ = true;
+  }
+  // Immutable once the first job is submitted, so safe to read unlocked.
+  const bool streaming = static_cast<bool>(callback_);
+  for (;;) {
+    const JobOutcome* out = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      delivery_requested_ = false;
+      if (next_delivery_ < slots_.size() &&
+          slots_[next_delivery_].state == JobState::kDone) {
+        // Safe to hand out past the unlock: a terminal outcome is immutable,
+        // slots are never erased, and deque growth does not move elements --
+        // so the callback gets a reference with no payload copy (terminal
+        // schedules can be large) and no work under the state mutex.
+        out = &slots_[next_delivery_].outcome;
+        ++next_delivery_;
+      }
+    }
+    if (out != nullptr) {
+      if (streaming) {
+        // A throwing callback must neither wedge the stream (delivering_
+        // stuck true, drain() blocked forever) nor escape into WorkerPool's
+        // noexcept worker loop (std::terminate); the stream is
+        // infrastructure, so the exception is swallowed and delivery
+        // continues with the next ticket.
+        try {
+          callback_(*out);
+        } catch (...) {
+        }
+      }
+      {
+        // Counted only AFTER the callback returned: drain() waits on this,
+        // so "drained" means every streamed callback has completed.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.delivered;
+      }
+      done_cv_.notify_all();  // drain() watches the delivery frontier
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!delivery_requested_) {
+      delivering_ = false;
+      return;
+    }
+  }
+}
+
+std::optional<JobOutcome> SchedulerService::poll(JobTicket ticket) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket.id >= slots_.size()) {
+    throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
+  }
+  const Slot& slot = slots_[ticket.id];
+  if (slot.state != JobState::kDone) return std::nullopt;
+  return slot.outcome;
+}
+
+JobState SchedulerService::state(JobTicket ticket) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket.id >= slots_.size()) {
+    throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
+  }
+  return slots_[ticket.id].state;
+}
+
+JobOutcome SchedulerService::wait(JobTicket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ticket.id >= slots_.size()) {
+    throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
+  }
+  done_cv_.wait(lock, [&] { return slots_[ticket.id].state == JobState::kDone; });
+  return slots_[ticket.id].outcome;
+}
+
+bool SchedulerService::cancel(JobTicket ticket) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ticket.id >= slots_.size()) {
+      throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
+    }
+    Slot& slot = slots_[ticket.id];
+    if (slot.state != JobState::kQueued) return false;
+    slot.state = JobState::kDone;
+    slot.outcome.ticket = ticket.id;
+    slot.outcome.status = BatchItemStatus::kCancelled;
+    release_job_payload(slot.job);
+    ++stats_.cancelled;
+    // The posted closure still sits in the pool queue; run_job sees the
+    // terminal state and returns without touching the slot.
+  }
+  done_cv_.notify_all();
+  deliver_ready();
+  return true;
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = slots_.size();
+  done_cv_.wait(lock, [&] { return stats_.delivered >= target; });
+}
+
+void SchedulerService::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+      Slot& slot = slots_[id];
+      if (slot.state != JobState::kQueued) continue;
+      slot.state = JobState::kDone;
+      slot.outcome.ticket = id;
+      slot.outcome.status = BatchItemStatus::kCancelled;
+      release_job_payload(slot.job);
+      ++stats_.cancelled;
+    }
+  }
+  done_cv_.notify_all();
+  // Running solves finish (their closures already left the queue); the
+  // closures of the jobs cancelled above are discarded unrun.
+  pool_.shutdown();
+  // Flush the tail of the stream: everything is terminal now.
+  deliver_ready();
+}
+
+ServiceStats SchedulerService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  const SolveCacheStats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_entries = cache.entries;
+  return out;
+}
+
+}  // namespace malsched

@@ -1,0 +1,221 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/solve_cache.hpp"
+#include "exec/batch_runner.hpp"
+#include "exec/worker_pool.hpp"
+
+/// The service-grade front door of the library: a long-lived scheduler that
+/// accepts jobs continuously, solves them on a persistent worker pool,
+/// streams results back in deterministic order, and memoizes repeated work.
+///
+/// Where solve() is one call and solve_batch() is one closed batch,
+/// SchedulerService is the shape a production deployment actually has: a
+/// daemon that receives (solver, options, instance) jobs over time and must
+/// answer each as soon as possible without re-deriving what it already
+/// knows. Three mechanisms carry that:
+///
+///  * **submit/poll/wait** -- submit() enqueues and returns a JobTicket
+///    immediately; poll() is a non-blocking status probe, wait() blocks for
+///    one job, drain() for everything submitted so far.
+///  * **Ordered streaming** -- an on_result callback receives every outcome
+///    exactly once, in TICKET (submission) order, regardless of which worker
+///    finished first: delivery i+1 waits for delivery i. That makes the
+///    stream deterministic -- the sequence of delivered results at 8 threads
+///    is byte-identical to 1 thread (and to solve_batch on the same jobs) --
+///    at the cost of head-of-line buffering, which poll()/wait() bypass.
+///  * **Content-hash solve cache** -- completed results are memoized by
+///    instance content + solver + canonical options (see SolveCache). A hit
+///    returns the memoized result without dispatching; per-job opt-out via
+///    SubmitOptions, service-wide off switch via ServiceOptions. Hit, miss,
+///    and eviction counts surface in ServiceStats.
+///
+/// Cache-miss solves additionally reuse per-worker mrt scratch: each worker
+/// keeps the DualWorkspace of the last instance it solved and hands it to
+/// the registry through SolveContext, so a burst of same-instance jobs
+/// (different options -- identical options would have hit the cache) builds
+/// the breakpoint index once per worker instead of once per job.
+///
+/// Determinism contract: every result field is byte-identical to the
+/// synchronous `solve()` path, with two audited exceptions -- wall times
+/// (inherently run-dependent; a cache hit's memoized result carries the
+/// original solve's wall time), and the mrt `workspace.*` audit counters,
+/// which report per-solve deltas and so legitimately shrink when a worker
+/// reuses its workspace (that saving is what they measure).
+///
+/// Callback rules: on_result fires on a worker thread (or inside cancel()/
+/// shutdown() on the calling thread) while no internal state lock is held;
+/// it may call poll()/state()/stats()/cancel()/submit() (re-entrant
+/// delivery is handled by a rescan protocol), but must NOT call wait(),
+/// drain(), or shutdown() -- blocking inside the delivery path deadlocks
+/// it, and shutdown() would join the very worker running the callback.
+///
+/// Lifecycle: drain() finishes everything submitted; shutdown() stops
+/// intake, cancels every job not yet started, finishes the ones running, and
+/// joins the workers (the destructor calls it). Outcomes stay poll()-able
+/// after shutdown until the service is destroyed.
+///
+/// Retention: job INPUTS (instance, options) are released the moment a job
+/// turns terminal, but every OUTCOME -- schedule included -- is retained for
+/// the service lifetime so any ticket stays poll()-able. Memory therefore
+/// grows with jobs served: bound a truly unbounded daemon by recreating the
+/// service between runs (outcome garbage collection is a named follow-up in
+/// the ROADMAP).
+namespace malsched {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware_concurrency.
+  unsigned threads{0};
+  /// Master switch for the solve cache; `cache_capacity` entries when on.
+  bool cache{true};
+  std::size_t cache_capacity{1024};
+  /// Reuse per-worker DualWorkspaces across same-instance cache misses.
+  bool reuse_workspaces{true};
+  /// Registry to dispatch through; nullptr = the global one. Must outlive
+  /// the service and not be mutated while it runs.
+  const SolverRegistry* registry{nullptr};
+};
+
+/// Opaque handle to one submitted job; tickets are dense and increase in
+/// submission order (ticket order IS delivery order).
+struct JobTicket {
+  std::uint64_t id{0};
+  friend bool operator==(JobTicket a, JobTicket b) { return a.id == b.id; }
+};
+
+enum class JobState {
+  kQueued,     ///< accepted, not yet picked up by a worker
+  kRunning,    ///< a worker is solving it
+  kDone,       ///< terminal: ok / error / cancelled (see the outcome)
+};
+
+/// Terminal outcome of one job -- the streaming payload and the wait()
+/// return value. Reuses BatchItemStatus so service outcomes and batch items
+/// compare directly.
+struct JobOutcome {
+  std::uint64_t ticket{0};
+  BatchItemStatus status{BatchItemStatus::kCancelled};
+  std::optional<SolverResult> result;  ///< engaged iff status == kOk
+  std::string error;                   ///< non-empty iff status == kError
+  bool cache_hit{false};               ///< result served from the solve cache
+  /// Worker-observed seconds from dequeue to completion (steady clock);
+  /// near-zero for cache hits -- the serving-path latency, as opposed to
+  /// result->wall_seconds, which is the original solve's cost.
+  double wall_seconds{0.0};
+};
+
+struct ServiceStats {
+  std::uint64_t submitted{0};
+  std::uint64_t completed{0};  ///< solved ok (cache hits included)
+  std::uint64_t failed{0};
+  std::uint64_t cancelled{0};
+  std::uint64_t delivered{0};  ///< outcomes handed to the stream so far
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+  std::uint64_t cache_evictions{0};
+  std::size_t cache_entries{0};
+  std::uint64_t workspace_reuses{0};  ///< solves that borrowed a warm workspace
+};
+
+struct SubmitOptions {
+  /// Consult/populate the solve cache for this job (no-op when the service
+  /// cache is off). Off for jobs that must measure a real solve.
+  bool cache{true};
+};
+
+class SchedulerService {
+ public:
+  using ResultCallback = std::function<void(const JobOutcome&)>;
+
+  explicit SchedulerService(ServiceOptions options = {});
+  ~SchedulerService();  // shutdown()
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Installs the streaming callback. Must be called before the first
+  /// submit() (throws std::logic_error otherwise): a stream that starts
+  /// mid-run would silently miss already-delivered outcomes.
+  void on_result(ResultCallback callback);
+
+  /// Enqueues one job; returns immediately. Throws std::runtime_error after
+  /// shutdown().
+  JobTicket submit(BatchJob job, SubmitOptions options = {});
+
+  /// Enqueues many jobs atomically (their tickets are consecutive).
+  std::vector<JobTicket> submit(std::vector<BatchJob> jobs, SubmitOptions options = {});
+
+  /// Non-blocking: the outcome if the job reached a terminal state, nullopt
+  /// while queued/running. Throws std::out_of_range on a ticket this service
+  /// never issued.
+  [[nodiscard]] std::optional<JobOutcome> poll(JobTicket ticket) const;
+
+  [[nodiscard]] JobState state(JobTicket ticket) const;
+
+  /// Blocks until the job reaches a terminal state; returns its outcome.
+  [[nodiscard]] JobOutcome wait(JobTicket ticket);
+
+  /// Requests cancellation. Jobs still queued are cancelled immediately
+  /// (their outcome is kCancelled and enters the stream in ticket order);
+  /// returns false for jobs already running or terminal -- solves are not
+  /// interrupted mid-flight, matching BatchRunner's cancellation model.
+  bool cancel(JobTicket ticket);
+
+  /// Blocks until every job submitted BEFORE the call is delivered to the
+  /// stream (and thus terminal). Safe to call repeatedly and concurrently
+  /// with new submissions.
+  void drain();
+
+  /// Graceful stop: rejects new submissions, cancels every queued job,
+  /// lets running solves finish, delivers every outcome, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Slot {
+    BatchJob job;  ///< payload released at the terminal transition
+    SubmitOptions submit_options;
+    JobState state{JobState::kQueued};
+    JobOutcome outcome;
+  };
+
+  JobTicket enqueue_locked(BatchJob job, SubmitOptions options);  // mutex_ held
+  void run_job(std::uint64_t id);
+  void finish(std::uint64_t id, JobOutcome outcome, bool reused_workspace);
+  void deliver_ready();
+
+  ServiceOptions options_;
+  const SolverRegistry* registry_;
+  SolveCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;  ///< wait()/drain(): "a slot turned terminal"
+  std::deque<Slot> slots_;           ///< slot id == ticket id (kept for poll())
+  std::uint64_t next_delivery_{0};
+  bool accepting_{true};
+  ServiceStats stats_;
+
+  /// Single-deliverer protocol (see deliver_ready()): `delivering_` elects
+  /// one thread to invoke callbacks in ticket order; `delivery_requested_`
+  /// makes it rescan before retiring, so concurrent (or re-entrant, from
+  /// inside the callback) completions are never stranded.
+  bool delivering_{false};
+  bool delivery_requested_{false};
+  ResultCallback callback_;
+
+  WorkerPool pool_;  ///< last member: destroyed (joined) before the state above
+};
+
+}  // namespace malsched

@@ -10,7 +10,9 @@
 /// This is to BatchRunner what malsched::solve() is to
 /// SolverRegistry::solve() -- the one-liner front ends reach for. Results
 /// come back in job order with per-job error isolation; see
-/// exec/batch_runner.hpp for the full guarantees.
+/// exec/batch_runner.hpp for the full guarantees. For continuous traffic
+/// (submit over time, streaming delivery, result caching) use the
+/// long-lived front door instead: api/scheduler_service.hpp.
 namespace malsched {
 
 [[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,

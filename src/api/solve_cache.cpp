@@ -1,0 +1,159 @@
+#include "api/solve_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace malsched {
+
+namespace {
+
+/// FNV-1a, the usual 64-bit offset/prime pair.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+void mix_u64(std::uint64_t& hash, std::uint64_t value) { mix_bytes(hash, &value, sizeof value); }
+
+/// Canonical content fingerprint of one job. Field order is fixed; every
+/// double contributes its BIT pattern (std::bit_cast -- the cache promises
+/// byte-identical results, so 0.0 and -0.0 must not alias), and strings
+/// contribute length + bytes so "ab"+"c" cannot alias "a"+"bc".
+std::uint64_t fingerprint(const std::string& solver, const std::string& options,
+                          const Instance& instance) {
+  std::uint64_t hash = kFnvOffset;
+  mix_u64(hash, solver.size());
+  mix_bytes(hash, solver.data(), solver.size());
+  mix_u64(hash, options.size());
+  mix_bytes(hash, options.data(), options.size());
+  mix_u64(hash, static_cast<std::uint64_t>(instance.machines()));
+  mix_u64(hash, static_cast<std::uint64_t>(instance.size()));
+  for (const auto& task : instance.tasks()) {
+    const auto& profile = task.profile();
+    mix_u64(hash, profile.size());
+    for (const double time : profile) {
+      mix_u64(hash, std::bit_cast<std::uint64_t>(time));
+    }
+    mix_u64(hash, task.name().size());
+    mix_bytes(hash, task.name().data(), task.name().size());
+  }
+  return hash;
+}
+
+/// Exact content equality (profiles compared bit for bit, names included):
+/// the deep half of key comparison behind a fingerprint match.
+bool same_instance_content(const Instance& a, const Instance& b) {
+  if (a.machines() != b.machines() || a.size() != b.size()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    const auto& ta = a.task(i);
+    const auto& tb = b.task(i);
+    if (ta.name() != tb.name()) return false;
+    const auto& pa = ta.profile();
+    const auto& pb = tb.profile();
+    if (pa.size() != pb.size()) return false;
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      if (std::bit_cast<std::uint64_t>(pa[p]) != std::bit_cast<std::uint64_t>(pb[p])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+
+SolveCache::Key SolveCache::make_key(const std::string& solver, const SolverOptions& options,
+                                     std::shared_ptr<const Instance> instance) {
+  if (!instance) throw std::invalid_argument("SolveCache: null instance");
+  Key key;
+  key.solver = solver;
+  key.options = options.str();
+  key.fingerprint = fingerprint(key.solver, key.options, *instance);
+  key.instance = std::move(instance);
+  return key;
+}
+
+bool SolveCache::same_key(const Key& a, const Key& b) {
+  if (a.fingerprint != b.fingerprint || a.solver != b.solver || a.options != b.options) {
+    return false;
+  }
+  // Shared-instance fast path; distinct objects fall through to content.
+  if (a.instance.get() == b.instance.get()) return true;
+  return same_instance_content(*a.instance, *b.instance);
+}
+
+std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
+  if (capacity_ == 0) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto bucket = index_.find(key.fingerprint);
+  if (bucket != index_.end()) {
+    for (const auto& it : bucket->second) {
+      if (same_key(it->key, key)) {
+        entries_.splice(entries_.begin(), entries_, it);  // refresh LRU
+        ++stats_.hits;
+        return it->result;  // shared_ptr copy only; payload copies happen
+                            // outside the lock, in the caller
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void SolveCache::insert(const Key& key, const SolverResult& result) {
+  if (capacity_ == 0) return;
+  // The expensive part (copying a full SolverResult, Schedule included)
+  // stays outside the critical section.
+  auto memoized = std::make_shared<const SolverResult>(result);
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  // Idempotent re-insert (two workers may race the same miss): refresh, keep
+  // the first memoized copy -- both came from the same deterministic solve.
+  auto bucket = index_.find(key.fingerprint);
+  if (bucket != index_.end()) {
+    for (const auto& it : bucket->second) {
+      if (same_key(it->key, key)) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return;
+      }
+    }
+  }
+
+  if (entries_.size() >= capacity_) {
+    const auto victim = std::prev(entries_.end());
+    auto& candidates = index_[victim->key.fingerprint];
+    candidates.erase(std::find(candidates.begin(), candidates.end(), victim));
+    if (candidates.empty()) index_.erase(victim->key.fingerprint);
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+
+  entries_.push_front(Entry{key, std::move(memoized)});
+  index_[key.fingerprint].push_back(entries_.begin());
+  ++stats_.insertions;
+}
+
+void SolveCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+SolveCacheStats SolveCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SolveCacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace malsched

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/solver_options.hpp"
+#include "api/solver_result.hpp"
+#include "model/instance.hpp"
+
+/// Content-addressed memoization of registry solves.
+///
+/// Production queues see near-duplicate work: the same snapshot re-evaluated
+/// under the same solver and options solves to the same (deterministic)
+/// result, so the second dispatch is pure waste. SolveCache keys a completed
+/// SolverResult by the CONTENT of the job -- a canonical fingerprint of the
+/// instance (machines, every task profile bit pattern, task names) plus the
+/// solver name and the canonical option string -- so hits do not depend on
+/// callers sharing Instance objects; two separately-generated but identical
+/// instances hit the same entry (the shared_ptr fast path just skips the
+/// deep compare).
+///
+/// Eviction is LRU over a fixed entry capacity; every lookup/insert/eviction
+/// is counted (SolveCacheStats) so the service can surface hit rates.
+/// Collisions are handled, not assumed away: entries whose 64-bit
+/// fingerprints collide are disambiguated by a full key comparison
+/// (solver, options, then instance content).
+///
+/// Thread safety: fully synchronized internally (one mutex; the critical
+/// sections are lookups and list splices, never solves), so any number of
+/// service workers can share one cache. A memoized result is returned BY
+/// VALUE -- results are immutable once inserted.
+namespace malsched {
+
+struct SolveCacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};       ///< lookups that found nothing
+  std::uint64_t insertions{0};
+  std::uint64_t evictions{0};    ///< entries pushed out by capacity
+  std::size_t entries{0};        ///< current size
+};
+
+class SolveCache {
+ public:
+  /// The precomputed identity of one (solver, options, instance) job.
+  /// Building a key hashes the instance once; reuse it for lookup + insert.
+  struct Key {
+    std::uint64_t fingerprint{0};
+    std::string solver;
+    std::string options;  ///< SolverOptions::str() -- canonical by key order
+    std::shared_ptr<const Instance> instance;  ///< never null
+  };
+
+  /// `capacity` = max memoized results; 0 disables the cache entirely
+  /// (lookups miss without counting, inserts drop).
+  explicit SolveCache(std::size_t capacity);
+
+  [[nodiscard]] static Key make_key(const std::string& solver, const SolverOptions& options,
+                                    std::shared_ptr<const Instance> instance);
+
+  /// The memoized result for `key` (nullptr on miss), refreshing its LRU
+  /// position; counts a hit or a miss. Returned as a shared_ptr so callers
+  /// copy (or just read) OUTSIDE the cache lock -- results are immutable
+  /// once inserted, and full SolverResult copies carry whole Schedules.
+  [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key);
+
+  /// Memoizes `result` under `key` (idempotent: re-inserting an existing key
+  /// refreshes LRU without duplicating), evicting the least-recently-used
+  /// entry when full. The copy into the cache happens before the lock.
+  void insert(const Key& key, const SolverResult& result);
+
+  void clear();
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  [[nodiscard]] SolveCacheStats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const SolverResult> result;  ///< immutable once inserted
+  };
+  using EntryList = std::list<Entry>;
+
+  /// Same job? Full comparison behind the fingerprint (collision safety).
+  [[nodiscard]] static bool same_key(const Key& a, const Key& b);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  EntryList entries_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
+  SolveCacheStats stats_;
+};
+
+}  // namespace malsched

@@ -87,6 +87,76 @@ int SolverOptions::get_int(const std::string& key, int fallback) const {
   }
 }
 
+namespace {
+
+/// One readable line naming every declared key, for unknown-key errors.
+std::string known_keys(const std::vector<OptionSpec>& specs) {
+  std::string out;
+  for (const auto& spec : specs) {
+    if (!out.empty()) out += ", ";
+    out += spec.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+void SolverOptions::validate(const std::vector<OptionSpec>& specs) const {
+  const bool strict = get_bool("strict", true);
+  for (const auto& [key, value] : entries_) {
+    const OptionSpec* spec = nullptr;
+    for (const auto& candidate : specs) {
+      if (candidate.name == key) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      if (!strict) continue;
+      std::string message = "SolverOptions: unknown option '" + key + "'";
+      const std::string suggestion = closest_option_name(key, specs);
+      if (!suggestion.empty()) message += " (did you mean '" + suggestion + "'?)";
+      message += "; declared options: " + known_keys(specs) +
+                 " -- pass strict=0 to ignore undeclared keys";
+      throw std::invalid_argument(message);
+    }
+    switch (spec->type) {
+      case OptionType::kBool:
+        static_cast<void>(get_bool(key, false));
+        break;
+      case OptionType::kInt: {
+        const int parsed = get_int(key, 0);
+        if (!(parsed >= spec->min_value && parsed <= spec->max_value)) {
+          throw std::invalid_argument("SolverOptions: option '" + key + "' = " + value +
+                                      " out of range (expected " + spec->type_label() + ")");
+        }
+        break;
+      }
+      case OptionType::kDouble: {
+        // Negated conjunction, not disjoined comparisons: NaN compares
+        // false to everything, so `< min || > max` would wave it through.
+        const double parsed = get_double(key, 0.0);
+        if (!(parsed >= spec->min_value && parsed <= spec->max_value)) {
+          throw std::invalid_argument("SolverOptions: option '" + key + "' = " + value +
+                                      " out of range (expected " + spec->type_label() + ")");
+        }
+        break;
+      }
+      case OptionType::kEnum: {
+        const bool allowed = std::find(spec->enum_values.begin(), spec->enum_values.end(),
+                                       value) != spec->enum_values.end();
+        if (!allowed) {
+          throw std::invalid_argument("SolverOptions: option '" + key + "' = '" + value +
+                                      "' is not one of " + spec->type_label());
+        }
+        break;
+      }
+      case OptionType::kString:
+        break;
+    }
+  }
+}
+
 bool SolverOptions::get_bool(const std::string& key, bool fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;

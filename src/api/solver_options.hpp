@@ -4,14 +4,16 @@
 #include <string>
 #include <vector>
 
+#include "api/option_spec.hpp"
+
 /// Generic key=value option bag for the solver registry.
 ///
 /// Every solver behind the SolverRegistry facade is configured through the
 /// same string-keyed interface so callers (CLI front ends, batch drivers,
-/// benches) need no per-algorithm structs. Keys are free-form; each solver
-/// documents the ones it reads and ignores the rest. Typed getters convert
-/// on access and throw std::invalid_argument on malformed values, never on
-/// missing ones (the fallback applies).
+/// benches) need no per-algorithm structs. Keys are validated against the
+/// solver's declared OptionSpec table at dispatch time (see validate());
+/// typed getters convert on access and throw std::invalid_argument on
+/// malformed values, never on missing ones (the fallback applies).
 namespace malsched {
 
 class SolverOptions {
@@ -20,11 +22,19 @@ class SolverOptions {
 
   /// Parses a list of "key=value" tokens (a bare "key" means "key=1", the
   /// conventional boolean shorthand). Throws std::invalid_argument on an
-  /// empty key.
+  /// empty key. Pinned edge cases:
+  ///   * duplicate keys: the last occurrence wins ("a=1,a=2" -> a=2),
+  ///   * "key=" sets the empty-string value ("" -- valid for string options;
+  ///     the numeric/boolean getters throw on it like any unparsable text),
+  ///   * only the FIRST '=' splits, so values may contain '=' ("a==b" ->
+  ///     a="=b").
   static SolverOptions from_tokens(const std::vector<std::string>& tokens);
 
-  /// Parses a single spec string: tokens separated by commas and/or spaces,
-  /// e.g. "epsilon=0.02,rigid=ffdh local_search".
+  /// Parses a single spec string: tokens separated by commas and/or
+  /// whitespace, e.g. "epsilon=0.02,rigid=ffdh local_search". Stray
+  /// separators (leading, trailing, or repeated ",,"/", ") produce empty
+  /// tokens, which are skipped; the edge cases of from_tokens apply
+  /// otherwise.
   static SolverOptions from_string(const std::string& spec);
 
   /// Sets (or overwrites) one option.
@@ -42,12 +52,28 @@ class SolverOptions {
   /// Booleans accept 1/0, true/false, yes/no, on/off (case-insensitive).
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Checks every entry against a declared spec table; throws
+  /// std::invalid_argument on the first violation:
+  ///   * an unknown key (message carries a did-you-mean suggestion when a
+  ///     declared name is within edit distance 2, plus the declared list),
+  ///   * a value that fails its declared type (bool/int/double parse, or an
+  ///     enum value outside the allowed set), or
+  ///   * a numeric value outside the declared inclusive range.
+  ///
+  /// `strict=0` in the bag downgrades the unknown-key check to pass-through
+  /// (forward-compat escape hatch); declared keys are still type- and
+  /// range-checked. The `strict` key itself must appear in `specs` (the
+  /// registry appends it to every declared table).
+  void validate(const std::vector<OptionSpec>& specs) const;
+
   /// All options in key order (for logging and round-tripping).
   [[nodiscard]] const std::map<std::string, std::string>& entries() const noexcept {
     return entries_;
   }
 
-  /// "k1=v1,k2=v2" rendering of the bag (empty string when empty).
+  /// "k1=v1,k2=v2" rendering of the bag in key order (empty string when
+  /// empty) -- canonical: equal bags render to equal strings, which is what
+  /// the solve cache keys on.
   [[nodiscard]] std::string str() const;
 
  private:

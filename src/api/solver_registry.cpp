@@ -7,6 +7,7 @@
 #include "baselines/naive.hpp"
 #include "baselines/two_phase.hpp"
 #include "baselines/two_shelves_32.hpp"
+#include "core/dual_workspace.hpp"
 #include "core/mrt_scheduler.hpp"
 #include "graph/graph_scheduler.hpp"
 #include "graph/task_graph.hpp"
@@ -19,7 +20,8 @@ namespace malsched {
 
 namespace {
 
-SolverResult solve_mrt(const Instance& instance, const SolverOptions& options) {
+SolverResult solve_mrt(const Instance& instance, const SolverOptions& options,
+                       const SolveContext& context) {
   MrtOptions mrt;
   mrt.search.epsilon = options.get_double("epsilon", mrt.search.epsilon);
   mrt.use_compaction = options.get_bool("compaction", mrt.use_compaction);
@@ -29,7 +31,16 @@ SolverResult solve_mrt(const Instance& instance, const SolverOptions& options) {
   mrt.enable_malleable_list = options.get_bool("malleable_list", mrt.enable_malleable_list);
   mrt.use_workspace = options.get_bool("workspace", mrt.use_workspace);
   mrt.snap_to_breakpoints = options.get_bool("snap", mrt.snap_to_breakpoints);
-  auto result = mrt_schedule(instance, mrt);
+
+  // The PR 3 reuse hook: a long-lived front end (SchedulerService worker)
+  // may offer a per-thread workspace already built for this instance; the
+  // provider is only consulted when the workspace path is on, so legacy
+  // (workspace=0) solves never pay for a build.
+  DualWorkspace* reuse = nullptr;
+  if (mrt.use_workspace && context.workspace_provider) {
+    reuse = context.workspace_provider(instance);
+  }
+  auto result = mrt_schedule(instance, mrt, reuse);
 
   SolverResult out{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
   out.stats.emplace_back("iterations", result.iterations);
@@ -50,9 +61,20 @@ SolverResult solve_mrt(const Instance& instance, const SolverOptions& options) {
   return out;
 }
 
+// Defaults shared between each solver body and its spec table, so the
+// rendered help cannot drift from what the solver actually falls back to
+// (struct-carried defaults -- MrtOptions, TwoPhaseOptions -- are read from
+// the structs directly; these cover the parameters passed as plain
+// function arguments).
+constexpr const char* kDefaultRigid = "ffdh";
+constexpr const char* kDefaultPolicy = "half-speedup";
+constexpr const char* kDefaultStrategy = "layered";
+constexpr double kTwoShelves32DefaultEpsilon = 0.01;
+constexpr double kGraphDefaultEpsilon = 0.02;
+
 SolverResult solve_two_phase(const Instance& instance, const SolverOptions& options) {
   TwoPhaseOptions two_phase;
-  const std::string rigid = options.get_string("rigid", "ffdh");
+  const std::string rigid = options.get_string("rigid", kDefaultRigid);
   if (rigid == "ffdh") {
     two_phase.rigid = RigidAlgo::kFfdh;
   } else if (rigid == "nfdh") {
@@ -73,7 +95,7 @@ SolverResult solve_two_phase(const Instance& instance, const SolverOptions& opti
 }
 
 SolverResult solve_naive(const Instance& instance, const SolverOptions& options) {
-  const std::string policy = options.get_string("policy", "half-speedup");
+  const std::string policy = options.get_string("policy", kDefaultPolicy);
   Schedule schedule = [&] {
     if (policy == "half-speedup") return half_max_speedup_schedule(instance);
     if (policy == "lpt-seq") return lpt_sequential_schedule(instance);
@@ -85,7 +107,8 @@ SolverResult solve_naive(const Instance& instance, const SolverOptions& options)
 }
 
 SolverResult solve_two_shelves_32(const Instance& instance, const SolverOptions& options) {
-  auto result = three_halves_schedule(instance, options.get_double("epsilon", 0.01));
+  auto result = three_halves_schedule(
+      instance, options.get_double("epsilon", kTwoShelves32DefaultEpsilon));
   return SolverResult{"", std::move(result.schedule), 0.0, result.lower_bound, 0.0, 0.0, {}};
 }
 
@@ -94,10 +117,10 @@ SolverResult solve_graph(const Instance& instance, const SolverOptions& options)
   // the graph schedulers apply directly (front ends with real precedence
   // graphs call them natively).
   const TaskGraph graph(instance.machines(), instance.tasks(), {});
-  const std::string strategy = options.get_string("strategy", "layered");
+  const std::string strategy = options.get_string("strategy", kDefaultStrategy);
   auto result = [&] {
     if (strategy == "layered") {
-      return layered_graph_schedule(graph, options.get_double("epsilon", 0.02));
+      return layered_graph_schedule(graph, options.get_double("epsilon", kGraphDefaultEpsilon));
     }
     if (strategy == "ready-list") return ready_list_graph_schedule(graph);
     throw std::invalid_argument("graph: unknown strategy '" + strategy +
@@ -108,14 +131,78 @@ SolverResult solve_graph(const Instance& instance, const SolverOptions& options)
   return out;
 }
 
+/// Declared schemas. Defaults are rendered from the same values the
+/// solvers fall back to (option structs or the shared constants above), so
+/// the help text tracks the code.
+std::vector<OptionSpec> mrt_specs() {
+  const MrtOptions defaults;
+  return {
+      OptionSpec::real("epsilon", defaults.search.epsilon, 1e-9, 10.0,
+                       "dual-search termination: stop when hi <= (1+epsilon)*lo"),
+      OptionSpec::boolean("compaction", defaults.use_compaction,
+                          "slide tasks earlier after construction (never hurts the bound)"),
+      OptionSpec::boolean("pick_best_branch", defaults.pick_best_branch,
+                          "evaluate every branch per step, keep the shortest schedule"),
+      OptionSpec::boolean("two_shelf", defaults.enable_two_shelf,
+                          "enable the Section 4 knapsack two-shelf branch"),
+      OptionSpec::boolean("canonical_list", defaults.enable_canonical_list,
+                          "enable the Section 3.2 canonical list branch"),
+      OptionSpec::boolean("malleable_list", defaults.enable_malleable_list,
+                          "enable the Section 3.1 malleable list fallback branch"),
+      OptionSpec::boolean("workspace", defaults.use_workspace,
+                          "run through the breakpoint-indexed DualWorkspace hot path"),
+      OptionSpec::boolean("snap", defaults.snap_to_breakpoints,
+                          "breakpoint-snapped dual search (needs workspace=1)"),
+  };
+}
+
+std::vector<OptionSpec> two_phase_specs() {
+  const TwoPhaseOptions defaults;
+  return {
+      OptionSpec::enumeration("rigid", kDefaultRigid, {"ffdh", "nfdh", "list"},
+                              "rigid-packing algorithm for the second phase"),
+      OptionSpec::integer("max_candidates", defaults.max_candidates, 1, 1 << 20,
+                          "allotment thresholds tried in the first phase"),
+  };
+}
+
+std::vector<OptionSpec> naive_specs() {
+  return {
+      OptionSpec::enumeration("policy", kDefaultPolicy, {"half-speedup", "lpt-seq", "gang"},
+                              "which practitioner anchor to run"),
+  };
+}
+
+std::vector<OptionSpec> two_shelves_32_specs() {
+  return {
+      OptionSpec::real("epsilon", kTwoShelves32DefaultEpsilon, 1e-9, 10.0,
+                       "dual-search termination: stop when hi <= (1+epsilon)*lo"),
+  };
+}
+
+std::vector<OptionSpec> graph_specs() {
+  return {
+      OptionSpec::enumeration("strategy", kDefaultStrategy, {"layered", "ready-list"},
+                              "layered sqrt(3) levels vs precedence-aware ready list"),
+      OptionSpec::real("epsilon", kGraphDefaultEpsilon, 1e-9, 10.0,
+                       "per-layer dual-search termination (layered strategy)"),
+  };
+}
+
 SolverRegistry make_global_registry() {
   SolverRegistry registry;
-  registry.add("mrt", "sqrt(3)(1+eps) dual approximation of Mounie-Rapine-Trystram", solve_mrt);
+  registry.add_with_context("mrt",
+                            "sqrt(3)(1+eps) dual approximation of Mounie-Rapine-Trystram",
+                            solve_mrt, mrt_specs(), /*contiguous=*/true,
+                            /*reuses_workspace=*/true);
   registry.add("two_phase", "Turek/Ludwig two-phase baseline (allotment selection + packing)",
-               solve_two_phase);
-  registry.add("naive", "practitioner anchors: half-speedup, lpt-seq, or gang", solve_naive);
-  registry.add("two_shelves_32", "heuristic 3/2 two-shelf dual search", solve_two_shelves_32);
-  registry.add("graph", "layered/ready-list DAG scheduler on the flat instance", solve_graph);
+               solve_two_phase, two_phase_specs());
+  registry.add("naive", "practitioner anchors: half-speedup, lpt-seq, or gang", solve_naive,
+               naive_specs());
+  registry.add("two_shelves_32", "heuristic 3/2 two-shelf dual search", solve_two_shelves_32,
+               two_shelves_32_specs());
+  registry.add("graph", "layered/ready-list DAG scheduler on the flat instance", solve_graph,
+               graph_specs());
   return registry;
 }
 
@@ -126,14 +213,58 @@ SolverRegistry& SolverRegistry::global() {
   return registry;
 }
 
-void SolverRegistry::add(std::string name, std::string description, SolverFn fn,
-                         bool contiguous) {
+void SolverRegistry::add(std::string name, std::string summary, SolverFn fn,
+                         std::vector<OptionSpec> options, bool contiguous) {
+  if (!fn) throw std::invalid_argument("SolverRegistry: null solver for '" + name + "'");
+  add_with_context(
+      std::move(name), std::move(summary),
+      [fn = std::move(fn)](const Instance& instance, const SolverOptions& solver_options,
+                           const SolveContext&) { return fn(instance, solver_options); },
+      std::move(options), contiguous, /*reuses_workspace=*/false);
+}
+
+void SolverRegistry::add_with_context(std::string name, std::string summary, ContextSolverFn fn,
+                                      std::vector<OptionSpec> options, bool contiguous,
+                                      bool reuses_workspace) {
   if (name.empty()) throw std::invalid_argument("SolverRegistry: empty solver name");
   if (!fn) throw std::invalid_argument("SolverRegistry: null solver for '" + name + "'");
   if (entries_.count(name) > 0) {
     throw std::invalid_argument("SolverRegistry: duplicate solver '" + name + "'");
   }
-  Entry entry{name, std::move(description), std::move(fn), contiguous};
+
+  // Declared tables get the facade-level keys appended (unless the solver
+  // already declared them), so `local_search=1`/`strict=0` validate for
+  // every schema'd solver without each table repeating them.
+  if (!options.empty()) {
+    const auto declares = [&options](const char* key) {
+      return std::any_of(options.begin(), options.end(),
+                         [key](const OptionSpec& spec) { return spec.name == key; });
+    };
+    if (!declares("local_search")) {
+      options.push_back(OptionSpec::boolean(
+          "local_search", false, "makespan local-search post-pass (facade-level)"));
+    }
+    if (!declares("strict")) {
+      options.push_back(OptionSpec::boolean(
+          "strict", true, "reject unknown option keys (0 = ignore them)"));
+    }
+  }
+
+  Entry entry{name, std::move(summary), "", std::move(fn), std::move(options), contiguous,
+              reuses_workspace};
+
+  // The option portion of the one-liner is derived, never hand-written, so
+  // description() cannot drift from the declared schema.
+  entry.description = entry.summary;
+  if (!entry.options.empty()) {
+    entry.description += " (options: ";
+    for (std::size_t i = 0; i < entry.options.size(); ++i) {
+      if (i > 0) entry.description += ", ";
+      entry.description += entry.options[i].name;
+    }
+    entry.description += ")";
+  }
+
   entries_.emplace(std::move(name), std::move(entry));
 }
 
@@ -148,6 +279,18 @@ std::vector<std::string> SolverRegistry::names() const {
 
 const std::string& SolverRegistry::description(const std::string& name) const {
   return entry(name).description;
+}
+
+const std::vector<OptionSpec>& SolverRegistry::option_specs(const std::string& name) const {
+  return entry(name).options;
+}
+
+std::string SolverRegistry::option_help(const std::string& name, const std::string& indent) const {
+  return option_table(entry(name).options, indent);
+}
+
+bool SolverRegistry::reuses_workspace(const std::string& name) const {
+  return entry(name).reuses_workspace;
 }
 
 const SolverRegistry::Entry& SolverRegistry::entry(const std::string& name) const {
@@ -166,10 +309,20 @@ const SolverRegistry::Entry& SolverRegistry::entry(const std::string& name) cons
 
 SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
                                    const SolverOptions& options) const {
+  return solve(name, instance, options, SolveContext{});
+}
+
+SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
+                                   const SolverOptions& options,
+                                   const SolveContext& context) const {
   const Entry& solver = entry(name);
   const Stopwatch stopwatch;
 
-  SolverResult result = solver.fn(instance, options);
+  // Free-form solvers (empty declared table) skip schema validation -- the
+  // forward-compat path for custom registrations without a spec.
+  if (!solver.options.empty()) options.validate(solver.options);
+
+  SolverResult result = solver.fn(instance, options, context);
   result.solver = solver.name;
 
   if (options.get_bool("local_search", false)) {

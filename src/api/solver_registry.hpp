@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/option_spec.hpp"
 #include "api/solver_options.hpp"
 #include "api/solver_result.hpp"
 #include "model/instance.hpp"
@@ -13,7 +14,9 @@
 /// every scheduling algorithm, so front ends (CLI, batch drivers, benches,
 /// services) dispatch by string instead of hand-wiring per-algorithm structs.
 ///
-/// Registered out of the box:
+/// Registered out of the box (run `solve_file --list-algos` or
+/// `bench_suite --list` for the full per-option help, rendered from the
+/// same OptionSpec tables validation uses):
 ///
 ///   name              algorithm                              key options
 ///   ----------------  -------------------------------------  -----------------------------
@@ -29,20 +32,42 @@
 ///                     instance (no precedence edges)         ready-list
 ///
 /// Every solver additionally honors `local_search=1` (the makespan local
-/// search post-pass, applied by the facade). solve() always validates the
-/// schedule before returning -- a result is never handed out unchecked --
-/// and stamps the wall time of the whole dispatch.
+/// search post-pass, applied by the facade) and `strict=0` (downgrade
+/// unknown-key rejection to pass-through). Option bags are validated against
+/// the solver's declared OptionSpec table before dispatch: unknown keys fail
+/// fast with a did-you-mean suggestion, mistyped or out-of-range values with
+/// a readable error. solve() always validates the schedule before
+/// returning -- a result is never handed out unchecked -- and stamps the
+/// wall time of the whole dispatch.
 ///
-/// Thread safety (audited for the exec/BatchRunner fan-out): construction of
-/// global() is safe under C++11 magic statics; solve(), contains(), names(),
-/// and description() are const reads of an immutable entry map and safe to
-/// call concurrently, provided no add() races with them. The built-in solver
-/// functions are stateless (pure functions of instance + options), so
+/// Thread safety (audited for the exec/BatchRunner fan-out and the
+/// SchedulerService workers): construction of global() is safe under C++11
+/// magic statics; solve(), contains(), names(), description(),
+/// option_specs(), and option_help() are const reads of an immutable entry
+/// map and safe to call concurrently, provided no add() races with them. The
+/// built-in solver functions are stateless (pure functions of instance +
+/// options; any SolveContext scratch is caller-owned and per-thread), so
 /// concurrent solve() calls on distinct or even the same instance are safe.
 /// add() is NOT synchronized: finish registering custom solvers before
 /// sharing a registry across threads (the global registry is fully populated
 /// on first use).
 namespace malsched {
+
+class DualWorkspace;  // core/dual_workspace.hpp
+
+/// Optional per-call state a long-lived front end threads into
+/// context-aware solvers. Today that is one hook: a per-thread
+/// DualWorkspace provider, so same-instance mrt solves on one service
+/// worker reuse the breakpoint index instead of rebuilding it.
+struct SolveContext {
+  /// Returns a workspace built for exactly `instance` (building or reusing
+  /// as the provider sees fit), or nullptr to decline. Called lazily -- only
+  /// by solvers that declare `reuses_workspace`, and only when their options
+  /// actually enable the workspace path -- so non-workspace solves never pay
+  /// for a build. The returned workspace must outlive the solve and must not
+  /// be shared across threads.
+  std::function<DualWorkspace*(const Instance&)> workspace_provider;
+};
 
 class SolverRegistry {
  public:
@@ -51,13 +76,30 @@ class SolverRegistry {
   /// ratio, runs the optional post-pass, validates, and stamps wall time.
   using SolverFn = std::function<SolverResult(const Instance&, const SolverOptions&)>;
 
+  /// As SolverFn, with the per-call SolveContext (borrowed scratch hooks).
+  using ContextSolverFn =
+      std::function<SolverResult(const Instance&, const SolverOptions&, const SolveContext&)>;
+
   struct Entry {
     std::string name;
+    /// The prose half of the one-liner, as passed to add().
+    std::string summary;
+    /// summary + " (options: ...)" derived from `options` at registration
+    /// time, so the help text cannot drift from the declared specs.
     std::string description;
-    SolverFn fn;
+    ContextSolverFn fn;
+    /// Declared option schema. Non-empty tables get strict validation (plus
+    /// the facade-level `local_search`/`strict` keys, appended
+    /// automatically); an EMPTY table means free-form options -- no
+    /// validation, for custom solvers that have not declared a schema.
+    std::vector<OptionSpec> options;
     /// Whether the solver guarantees contiguous processor intervals (the
     /// paper's setting); validation enforces exactly what is promised.
     bool contiguous{true};
+    /// Whether the solver consults SolveContext::workspace_provider (only
+    /// mrt today); lets front ends skip offering scratch to solvers that
+    /// would never use it.
+    bool reuses_workspace{false};
   };
 
   /// The process-wide registry, pre-populated with the built-in solvers.
@@ -67,25 +109,51 @@ class SolverRegistry {
   SolverRegistry() = default;
 
   /// Registers a solver; throws std::invalid_argument on an empty or
-  /// duplicate name. Pass contiguous=false only for solvers that may place
-  /// tasks on non-consecutive processors (their schedules are then validated
-  /// without the contiguity requirement).
-  void add(std::string name, std::string description, SolverFn fn, bool contiguous = true);
+  /// duplicate name. `options` declares the solver's schema (empty =
+  /// free-form, see Entry::options). Pass contiguous=false only for solvers
+  /// that may place tasks on non-consecutive processors (their schedules are
+  /// then validated without the contiguity requirement).
+  void add(std::string name, std::string summary, SolverFn fn,
+           std::vector<OptionSpec> options = {}, bool contiguous = true);
+
+  /// As add(), for context-aware solvers; `reuses_workspace` marks solvers
+  /// that consult SolveContext::workspace_provider.
+  void add_with_context(std::string name, std::string summary, ContextSolverFn fn,
+                        std::vector<OptionSpec> options = {}, bool contiguous = true,
+                        bool reuses_workspace = false);
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
   /// Registered names in lexicographic order.
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Human-readable description of one solver; throws on unknown names.
+  /// Human-readable one-liner: the registration summary plus the
+  /// spec-derived option list; throws on unknown names.
   [[nodiscard]] const std::string& description(const std::string& name) const;
 
+  /// The declared option schema (facade keys included); empty for free-form
+  /// solvers. Throws on unknown names.
+  [[nodiscard]] const std::vector<OptionSpec>& option_specs(const std::string& name) const;
+
+  /// Rendered per-option help table (name, type/range, default, help line),
+  /// or "" for free-form solvers. Throws on unknown names.
+  [[nodiscard]] std::string option_help(const std::string& name,
+                                        const std::string& indent = "  ") const;
+
+  /// Whether the named solver consults SolveContext::workspace_provider.
+  [[nodiscard]] bool reuses_workspace(const std::string& name) const;
+
   /// Dispatches to the named solver. Throws std::invalid_argument for an
-  /// unknown name (the message lists the registered ones) and
-  /// std::runtime_error if a solver ever emits a schedule that fails
-  /// validation.
+  /// unknown name (the message lists the registered ones) or an option bag
+  /// that fails the solver's declared schema, and std::runtime_error if a
+  /// solver ever emits a schedule that fails validation.
   [[nodiscard]] SolverResult solve(const std::string& name, const Instance& instance,
                                    const SolverOptions& options = {}) const;
+
+  /// As above with caller-provided per-call context (workspace reuse).
+  [[nodiscard]] SolverResult solve(const std::string& name, const Instance& instance,
+                                   const SolverOptions& options,
+                                   const SolveContext& context) const;
 
  private:
   [[nodiscard]] const Entry& entry(const std::string& name) const;

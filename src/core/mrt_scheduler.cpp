@@ -166,9 +166,29 @@ MrtDualOutcome mrt_dual_step(DualWorkspace& workspace, double deadline,
 }
 
 MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options) {
+  return mrt_schedule(instance, options, nullptr);
+}
+
+MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options,
+                       DualWorkspace* reuse) {
   std::array<int, kDualBranchCount> branch_counts{};
-  std::optional<DualWorkspace> workspace;
-  if (options.use_workspace) workspace.emplace(instance);
+  // A borrowed workspace is accepted only when it was built for exactly this
+  // instance; anything else (or the legacy path) gets the usual per-solve
+  // local workspace, so a wrong hook degrades to the one-shot behavior.
+  std::optional<DualWorkspace> local;
+  DualWorkspace* workspace = nullptr;
+  if (options.use_workspace) {
+    if (reuse != nullptr && &reuse->instance() == &instance) {
+      workspace = reuse;
+    } else {
+      local.emplace(instance);
+      workspace = &*local;
+    }
+  }
+  // The shared counters keep accumulating across solves on a reused
+  // workspace; this solve reports its delta (0 warm-up allocations on reuse
+  // is the saving the hook exists to deliver).
+  const DualWorkspaceStats before = workspace ? workspace->stats() : DualWorkspaceStats{};
 
   const DualStep step = [&](double guess) {
     auto outcome = workspace ? mrt_dual_step(*workspace, guess, options)
@@ -195,8 +215,8 @@ MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options) {
                    0};
   if (workspace) {
     const auto stats = workspace->stats();
-    result.workspace_allocations = stats.alloc_events;
-    result.canonical_evals = stats.canonical_evals;
+    result.workspace_allocations = stats.alloc_events - before.alloc_events;
+    result.canonical_evals = stats.canonical_evals - before.canonical_evals;
   }
   return result;
 }

@@ -111,4 +111,21 @@ struct MrtResult {
 
 [[nodiscard]] MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options = {});
 
+/// As above, optionally reusing a caller-owned workspace across solves of
+/// the same instance (the serving-path hook: a SchedulerService worker keeps
+/// one DualWorkspace per instance it sees, so repeated cache-miss solves
+/// skip rebuilding the breakpoint index). `reuse` is taken only when
+/// `options.use_workspace` is on AND it was built for exactly `instance`
+/// (same object); otherwise a fresh local workspace is used, so a stale
+/// pointer degrades to the one-shot path instead of corrupting the solve.
+///
+/// Schedules, bounds, iterations, and branch counts are byte-identical to
+/// the fresh-workspace solve (every workspace lookup is byte-identical to
+/// the naive recomputation regardless of scratch warm-up). The
+/// workspace.allocations / canonical_evals counters report per-solve DELTAS
+/// of the shared counters: a reused workspace legitimately reports fewer
+/// warm-up allocations -- that saving is the point of the hook.
+[[nodiscard]] MrtResult mrt_schedule(const Instance& instance, const MrtOptions& options,
+                                     DualWorkspace* reuse);
+
 }  // namespace malsched

@@ -1,0 +1,75 @@
+#include "exec/worker_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace malsched {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  unsigned count = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (count == 0) count = 1;
+  thread_count_ = count;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::post(std::function<void()> task) {
+  if (!task) throw std::invalid_argument("WorkerPool: null task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("WorkerPool: post() after shutdown()");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  // Safe for concurrent callers: the worker handles are claimed under the
+  // lock, so exactly one caller joins them; the others see an empty vector
+  // and return (possibly before the join completes -- the joining caller
+  // owns the stronger postcondition).
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_.clear();  // unstarted tasks are discarded, by contract
+    to_join.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (auto& worker : to_join) {
+    if (worker.joinable()) worker.join();
+  }
+  idle_cv_.notify_all();
+}
+
+std::size_t WorkerPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void WorkerPool::worker_loop() noexcept {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and nothing left to run
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();  // noexcept boundary: a throwing task terminates, loudly
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace malsched

@@ -47,6 +47,119 @@ TEST(SolverOptions, ThrowsOnMalformedValuesNotMissingOnes) {
   EXPECT_DOUBLE_EQ(options.get_double("missing", 1.5), 1.5);
 }
 
+// The pinned parser edge cases (previously implementation-defined).
+
+TEST(SolverOptions, DuplicateKeysLastWins) {
+  const auto options = SolverOptions::from_string("epsilon=0.1,epsilon=0.2 epsilon=0.3");
+  EXPECT_DOUBLE_EQ(options.get_double("epsilon", 0.0), 0.3);
+  EXPECT_EQ(options.entries().size(), 1u);
+}
+
+TEST(SolverOptions, StraySeparatorsAreSkipped) {
+  const auto options = SolverOptions::from_string(" ,,  a=1 ,\t, b=2,, ");
+  EXPECT_EQ(options.get_int("a", 0), 1);
+  EXPECT_EQ(options.get_int("b", 0), 2);
+  EXPECT_EQ(options.entries().size(), 2u);
+  EXPECT_TRUE(SolverOptions::from_string(", ,\t,").entries().empty());
+}
+
+TEST(SolverOptions, EmptyValueIsAValidStringButNotANumber) {
+  const auto options = SolverOptions::from_string("name=");
+  EXPECT_TRUE(options.has("name"));
+  EXPECT_EQ(options.get_string("name", "fallback"), "");
+  EXPECT_THROW(static_cast<void>(options.get_double("name", 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(options.get_bool("name", true)), std::invalid_argument);
+}
+
+TEST(SolverOptions, OnlyTheFirstEqualsSplits) {
+  const auto options = SolverOptions::from_string("a==b,path=x=y");
+  EXPECT_EQ(options.get_string("a"), "=b");
+  EXPECT_EQ(options.get_string("path"), "x=y");
+}
+
+// ------------------------------------------------- OptionSpec validation
+
+std::vector<OptionSpec> demo_specs() {
+  return {
+      OptionSpec::real("epsilon", 0.01, 1e-9, 10.0, "termination threshold"),
+      OptionSpec::integer("rounds", 4, 1, 64, "iteration budget"),
+      OptionSpec::enumeration("rigid", "ffdh", {"ffdh", "nfdh", "list"}, "packing algo"),
+      OptionSpec::boolean("strict", true, "reject unknown keys"),
+  };
+}
+
+TEST(OptionSpec, ValidatePassesDeclaredWellTypedOptions) {
+  const auto options = SolverOptions::from_string("epsilon=0.5,rounds=8,rigid=nfdh");
+  EXPECT_NO_THROW(options.validate(demo_specs()));
+}
+
+TEST(OptionSpec, UnknownKeyFailsFastWithDidYouMean) {
+  const auto options = SolverOptions::from_string("epsilom=0.02");
+  try {
+    options.validate(demo_specs());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string message = err.what();
+    EXPECT_NE(message.find("unknown option 'epsilom'"), std::string::npos) << message;
+    EXPECT_NE(message.find("did you mean 'epsilon'?"), std::string::npos) << message;
+    EXPECT_NE(message.find("strict=0"), std::string::npos) << message;
+  }
+}
+
+TEST(OptionSpec, UnknownKeyWithoutACloseNameListsTheDeclaredOnes) {
+  const auto options = SolverOptions::from_string("warp_factor=9");
+  try {
+    options.validate(demo_specs());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string message = err.what();
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("epsilon"), std::string::npos) << message;
+  }
+}
+
+TEST(OptionSpec, StrictZeroTunnelsUnknownKeysButStillTypesKnownOnes) {
+  EXPECT_NO_THROW(SolverOptions::from_string("epsilom=0.02,strict=0").validate(demo_specs()));
+  // Declared keys are still checked even in non-strict mode.
+  EXPECT_THROW(SolverOptions::from_string("epsilon=fast,strict=0").validate(demo_specs()),
+               std::invalid_argument);
+}
+
+TEST(OptionSpec, OutOfRangeAndBadEnumValuesAreRejectedReadably) {
+  EXPECT_THROW(SolverOptions::from_string("epsilon=-1").validate(demo_specs()),
+               std::invalid_argument);
+  EXPECT_THROW(SolverOptions::from_string("epsilon=11").validate(demo_specs()),
+               std::invalid_argument);
+  // NaN compares false to every bound; the range check must still reject it.
+  EXPECT_THROW(SolverOptions::from_string("epsilon=nan").validate(demo_specs()),
+               std::invalid_argument);
+  EXPECT_THROW(SolverOptions::from_string("rounds=0").validate(demo_specs()),
+               std::invalid_argument);
+  try {
+    SolverOptions::from_string("rigid=best").validate(demo_specs());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("ffdh|nfdh|list"), std::string::npos) << err.what();
+  }
+}
+
+TEST(OptionSpec, EditDistanceAndSuggestionThreshold) {
+  EXPECT_EQ(edit_distance("epsilon", "epsilon"), 0);
+  EXPECT_EQ(edit_distance("epsilom", "epsilon"), 1);
+  EXPECT_EQ(edit_distance("eplison", "epsilon"), 2);
+  EXPECT_EQ(closest_option_name("epsilom", demo_specs()), "epsilon");
+  EXPECT_EQ(closest_option_name("warp_factor", demo_specs()), "");
+}
+
+TEST(OptionSpec, OptionTableRendersNameTypeDefaultAndHelp) {
+  const auto table = option_table(demo_specs());
+  EXPECT_NE(table.find("epsilon"), std::string::npos);
+  EXPECT_NE(table.find("double in [1e-09, 10]"), std::string::npos);
+  EXPECT_NE(table.find("ffdh|nfdh|list"), std::string::npos);
+  EXPECT_NE(table.find("termination threshold"), std::string::npos);
+  EXPECT_TRUE(option_table({}).empty());
+}
+
 // ----------------------------------------------------------- SolverRegistry
 
 TEST(SolverRegistry, GlobalRegistersTheFiveSolvers) {
@@ -91,7 +204,7 @@ TEST(SolverRegistry, ContiguityEnforcementMatchesRegistration) {
   SolverRegistry registry;
   registry.add("strict", "scattered solver registered as contiguous", scattered_fn);
   registry.add("relaxed", "scattered solver registered as such", scattered_fn,
-               /*contiguous=*/false);
+               /*options=*/{}, /*contiguous=*/false);
   EXPECT_THROW(static_cast<void>(registry.solve("strict", instance)), std::runtime_error);
   const auto result = registry.solve("relaxed", instance);
   EXPECT_TRUE(result.schedule.complete());
@@ -179,6 +292,86 @@ TEST(SolverRegistry, BadSolverOptionValuesThrow) {
   EXPECT_THROW(
       static_cast<void>(solve("mrt", instance, SolverOptions::from_string("epsilon=tiny"))),
       std::invalid_argument);
+}
+
+TEST(SolverRegistry, TypodKeyFailsFastInsteadOfSolvingWithTheDefault) {
+  const auto instance = small_instance();
+  // The original bug: epsilom=0.02 used to solve silently with the default
+  // epsilon. Now it fails fast, with the fix spelled out.
+  try {
+    static_cast<void>(solve("mrt", instance, SolverOptions::from_string("epsilom=0.02")));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("did you mean 'epsilon'?"), std::string::npos)
+        << err.what();
+  }
+  // strict=0 restores the old pass-through behavior: the typo is ignored and
+  // the solve equals the default-option one.
+  const auto escaped =
+      solve("mrt", instance, SolverOptions::from_string("epsilom=0.02,strict=0"));
+  const auto plain = solve("mrt", instance);
+  EXPECT_DOUBLE_EQ(escaped.makespan, plain.makespan);
+  EXPECT_DOUBLE_EQ(escaped.lower_bound, plain.lower_bound);
+}
+
+TEST(SolverRegistry, OutOfRangeValuesAreRejectedBeforeDispatch) {
+  const auto instance = small_instance();
+  EXPECT_THROW(
+      static_cast<void>(solve("mrt", instance, SolverOptions::from_string("epsilon=-0.5"))),
+      std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   solve("two_phase", instance, SolverOptions::from_string("max_candidates=0"))),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, DescriptionsDeriveTheirOptionListFromTheSpecs) {
+  const auto& registry = SolverRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto& description = registry.description(name);
+    EXPECT_NE(description.find("(options: "), std::string::npos) << name;
+    // Every declared option appears in the one-liner; none can go stale.
+    for (const auto& spec : registry.option_specs(name)) {
+      EXPECT_NE(description.find(spec.name), std::string::npos)
+          << name << " description misses option " << spec.name;
+    }
+  }
+  // The facade-level keys are declared everywhere without being repeated in
+  // each registration table.
+  EXPECT_NE(registry.description("naive").find("local_search"), std::string::npos);
+  EXPECT_NE(registry.description("naive").find("strict"), std::string::npos);
+}
+
+TEST(SolverRegistry, OptionHelpRendersTheSpecTable) {
+  const auto& registry = SolverRegistry::global();
+  const auto help = registry.option_help("mrt");
+  EXPECT_NE(help.find("epsilon"), std::string::npos);
+  EXPECT_NE(help.find("0.01"), std::string::npos);  // default from MrtOptions
+  EXPECT_NE(help.find("snap"), std::string::npos);
+  // Free-form custom solvers render no table.
+  SolverRegistry custom;
+  custom.add("freeform", "no declared schema",
+             [](const Instance& instance, const SolverOptions&) {
+               return SolverResult{"", Schedule(instance.machines(), instance.size()),
+                                   0, 0, 0, 0, {}};
+             });
+  EXPECT_TRUE(custom.option_help("freeform").empty());
+  EXPECT_EQ(custom.description("freeform").find("(options:"), std::string::npos);
+}
+
+TEST(SolverRegistry, FreeFormSolversSkipValidation) {
+  SolverRegistry registry;
+  registry.add("echo", "accepts anything", [](const Instance& instance, const SolverOptions&) {
+    Schedule schedule(instance.machines(), instance.size());
+    double t = 0.0;
+    for (int i = 0; i < instance.size(); ++i) {
+      schedule.assign(i, t, instance.task(i).time(1), 0, 1);
+      t += instance.task(i).time(1);
+    }
+    return SolverResult{"", std::move(schedule), 0, 0, 0, 0, {}};
+  });
+  const auto result = registry.solve(
+      "echo", small_instance(), SolverOptions::from_string("whatever=really,epsilom=1"));
+  EXPECT_TRUE(result.schedule.complete());
 }
 
 TEST(SolverRegistry, LocalSearchPostPassNeverDegrades) {

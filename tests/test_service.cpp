@@ -1,0 +1,572 @@
+// Tests for the SchedulerService front end (src/api/scheduler_service.*),
+// the content-hash SolveCache behind it, and the exec/WorkerPool it runs on:
+// ordered streaming byte-identical to solve_batch, cache hit/eviction
+// accounting, per-worker workspace reuse, cancellation mid-stream, and
+// graceful shutdown with pending jobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/scheduler_service.hpp"
+#include "api/solve_batch.hpp"
+#include "api/solve_cache.hpp"
+#include "exec/batch_json.hpp"
+#include "exec/worker_pool.hpp"
+#include "workload/generators.hpp"
+
+namespace malsched {
+namespace {
+
+Instance small_instance(std::uint64_t seed, int tasks = 16, int machines = 8) {
+  GeneratorOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  const auto families = all_workload_families();
+  return generate_instance(families[seed % families.size()], options, seed);
+}
+
+/// A mixed batch plus exact-duplicate tails (the duplicates share the
+/// instance AND the options, so they are cache-hit material). mrt jobs all
+/// use distinct instances: same-instance mrt misses legitimately report
+/// different workspace audit deltas, which the byte-compare here must not
+/// see (covered by WorkspaceReuse* below instead).
+std::vector<BatchJob> mixed_jobs_with_duplicates(std::size_t base_count) {
+  const std::vector<std::pair<std::string, std::string>> configs{
+      {"mrt", ""},
+      {"two_phase", "rigid=ffdh"},
+      {"naive", "policy=lpt-seq"},
+      {"two_shelves_32", ""},
+  };
+  std::vector<BatchJob> jobs;
+  for (std::size_t i = 0; i < base_count; ++i) {
+    const auto& [solver, spec] = configs[i % configs.size()];
+    jobs.push_back({solver, SolverOptions::from_string(spec), small_instance(200 + i)});
+  }
+  // Exact duplicates of two non-mrt jobs (same shared instance, same
+  // options): deterministic cache hits once the original has completed.
+  jobs.push_back({jobs[1].solver, jobs[1].options, jobs[1].instance});
+  jobs.push_back({jobs[2].solver, jobs[2].options, jobs[2].instance});
+  return jobs;
+}
+
+/// Outcomes reshaped as a BatchReport so the byte-compare reuses the proven
+/// exec/batch_json serialization.
+BatchReport report_from(const std::vector<JobOutcome>& outcomes) {
+  BatchReport report;
+  for (const auto& outcome : outcomes) {
+    BatchItem item;
+    item.index = outcome.ticket;
+    item.status = outcome.status;
+    item.result = outcome.result;
+    item.error = outcome.error;
+    switch (item.status) {
+      case BatchItemStatus::kOk: ++report.ok; break;
+      case BatchItemStatus::kError: ++report.errors; break;
+      case BatchItemStatus::kCancelled: ++report.cancelled; break;
+    }
+    report.items.push_back(std::move(item));
+  }
+  return report;
+}
+
+/// Two-way latch for the blocking test solver: the test waits for the solve
+/// to start, the solve waits for the test to release it.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered{false};
+  bool open{false};
+
+  void enter_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+Schedule sequential_schedule(const Instance& instance) {
+  Schedule schedule(instance.machines(), instance.size());
+  double t = 0.0;
+  for (int i = 0; i < instance.size(); ++i) {
+    schedule.assign(i, t, instance.task(i).time(1), 0, 1);
+    t += instance.task(i).time(1);
+  }
+  return schedule;
+}
+
+/// Registry with a fast solver, a gate-blocked solver, and a throwing one.
+SolverRegistry gated_registry(const std::shared_ptr<Gate>& gate) {
+  SolverRegistry registry;
+  registry.add("seq", "sequential on processor 0",
+               [](const Instance& instance, const SolverOptions&) {
+                 return SolverResult{"", sequential_schedule(instance), 0, 0, 0, 0, {}};
+               });
+  registry.add("gate", "blocks until the test releases it",
+               [gate](const Instance& instance, const SolverOptions&) {
+                 gate->enter_and_wait();
+                 return SolverResult{"", sequential_schedule(instance), 0, 0, 0, 0, {}};
+               });
+  registry.add("boom", "always throws",
+               [](const Instance&, const SolverOptions&) -> SolverResult {
+                 throw std::runtime_error("boom: simulated solver failure");
+               });
+  return registry;
+}
+
+// ------------------------------------------------------- ordered streaming
+
+// The acceptance property: the streamed sequence at 1/2/8 threads is
+// byte-identical to solve_batch on the same jobs (schedules included;
+// timing excluded -- the one legitimately nondeterministic field).
+TEST(SchedulerService, StreamsInTicketOrderByteIdenticalToSolveBatch) {
+  const auto jobs = mixed_jobs_with_duplicates(24);
+  BatchJsonOptions json;
+  json.include_timing = false;
+  json.include_schedules = true;
+  const std::string reference = batch_report_json(solve_batch(jobs), json);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ServiceOptions options;
+    options.threads = threads;
+    SchedulerService service(options);
+    std::vector<JobOutcome> streamed;
+    service.on_result([&streamed](const JobOutcome& outcome) {
+      // Delivery is serialized by contract; no lock needed.
+      streamed.push_back(outcome);
+    });
+    const auto tickets = service.submit(jobs);
+    ASSERT_EQ(tickets.size(), jobs.size());
+    service.drain();
+
+    ASSERT_EQ(streamed.size(), jobs.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i].ticket, i) << "stream must arrive in ticket order";
+    }
+    EXPECT_EQ(batch_report_json(report_from(streamed), json), reference)
+        << "streamed results differ from solve_batch at " << threads << " threads";
+    EXPECT_EQ(service.stats().delivered, jobs.size());
+  }
+}
+
+TEST(SchedulerService, PollWaitStateLifecycle) {
+  const auto gate = std::make_shared<Gate>();
+  const auto registry = gated_registry(gate);
+  ServiceOptions options;
+  options.threads = 1;
+  options.registry = &registry;
+  SchedulerService service(options);
+
+  const auto blocked = service.submit({"gate", {}, small_instance(1)});
+  gate->wait_entered();
+  EXPECT_EQ(service.state(blocked), JobState::kRunning);
+  EXPECT_FALSE(service.poll(blocked).has_value());
+
+  const auto queued = service.submit({"seq", {}, small_instance(2)});
+  EXPECT_EQ(service.state(queued), JobState::kQueued);
+
+  gate->release();
+  const auto outcome = service.wait(queued);
+  EXPECT_EQ(outcome.status, BatchItemStatus::kOk);
+  EXPECT_EQ(outcome.ticket, queued.id);
+  EXPECT_EQ(service.state(queued), JobState::kDone);
+  ASSERT_TRUE(service.poll(blocked).has_value() || service.wait(blocked).status ==
+                                                       BatchItemStatus::kOk);
+
+  const JobTicket bogus{999};
+  EXPECT_THROW(static_cast<void>(service.poll(bogus)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(service.state(bogus)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(service.wait(bogus)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(service.cancel(bogus)), std::out_of_range);
+}
+
+TEST(SchedulerService, ErrorsAreIsolatedPerJob) {
+  const auto gate = std::make_shared<Gate>();
+  const auto registry = gated_registry(gate);
+  ServiceOptions options;
+  options.threads = 2;
+  options.registry = &registry;
+  SchedulerService service(options);
+  const auto bad = service.submit({"boom", {}, small_instance(3)});
+  const auto good = service.submit({"seq", {}, small_instance(4)});
+  const auto failed = service.wait(bad);
+  EXPECT_EQ(failed.status, BatchItemStatus::kError);
+  EXPECT_NE(failed.error.find("boom"), std::string::npos);
+  EXPECT_EQ(service.wait(good).status, BatchItemStatus::kOk);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// ------------------------------------------------------------- solve cache
+
+TEST(SchedulerService, CacheHitIsByteIdenticalAndCounted) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  const auto instance = std::make_shared<const Instance>(small_instance(7));
+  const BatchJob job{"mrt", SolverOptions::from_string("epsilon=0.05"), instance};
+
+  const auto first = service.wait(service.submit(job));
+  const auto second = service.wait(service.submit(job));
+  ASSERT_EQ(first.status, BatchItemStatus::kOk);
+  ASSERT_EQ(second.status, BatchItemStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+
+  // The memoized result is the first result, bytes included (stats too --
+  // the solvers are deterministic). Tickets naturally differ; normalize them
+  // so the compare sees only the payload.
+  BatchJsonOptions json;
+  json.include_timing = false;
+  json.include_schedules = true;
+  auto first_norm = first;
+  auto second_norm = second;
+  first_norm.ticket = 0;
+  second_norm.ticket = 0;
+  EXPECT_EQ(batch_report_json(report_from({second_norm}), json),
+            batch_report_json(report_from({first_norm}), json));
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+
+  // Content addressing: an identical but separately generated instance hits
+  // the same entry (no shared_ptr required).
+  const BatchJob regenerated{"mrt", SolverOptions::from_string("epsilon=0.05"),
+                             small_instance(7)};
+  EXPECT_TRUE(service.wait(service.submit(regenerated)).cache_hit);
+}
+
+TEST(SchedulerService, CacheRespectsPerJobOptOutAndServiceSwitch) {
+  const auto instance = std::make_shared<const Instance>(small_instance(9));
+  const BatchJob job{"two_phase", SolverOptions::from_string("rigid=ffdh"), instance};
+
+  {
+    ServiceOptions options;
+    options.threads = 1;
+    SchedulerService service(options);
+    SubmitOptions no_cache;
+    no_cache.cache = false;
+    static_cast<void>(service.wait(service.submit(job, no_cache)));
+    const auto repeat = service.wait(service.submit(job, no_cache));
+    EXPECT_FALSE(repeat.cache_hit);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, 0u);  // opted-out jobs never even look
+    EXPECT_EQ(stats.cache_entries, 0u);
+  }
+  {
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache = false;  // service-wide off switch
+    SchedulerService service(options);
+    static_cast<void>(service.wait(service.submit(job)));
+    EXPECT_FALSE(service.wait(service.submit(job)).cache_hit);
+    EXPECT_EQ(service.stats().cache_entries, 0u);
+  }
+}
+
+TEST(SchedulerService, CacheEvictsLeastRecentlyUsedAndCountsIt) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  SchedulerService service(options);
+  const auto submit_seed = [&](std::uint64_t seed) {
+    return service.wait(service.submit({"naive", SolverOptions::from_string("policy=lpt-seq"),
+                                        small_instance(seed)}));
+  };
+  static_cast<void>(submit_seed(11));  // cache: {11}
+  static_cast<void>(submit_seed(12));  // cache: {12, 11}
+  static_cast<void>(submit_seed(13));  // evicts 11 -> {13, 12}
+  auto stats = service.stats();
+  EXPECT_EQ(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+  EXPECT_TRUE(submit_seed(12).cache_hit);    // still resident
+  EXPECT_FALSE(submit_seed(11).cache_hit);   // was evicted, solves again
+}
+
+// -------------------------------------------------------- workspace reuse
+
+// Same instance, different options: both jobs miss the cache, and on one
+// worker the second solve reuses the first's DualWorkspace. Everything
+// except the workspace audit counters (per-solve deltas by contract) is
+// byte-identical to the one-shot path.
+TEST(SchedulerService, WorkspaceReuseKeepsResultsIdenticalModuloAuditCounters) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  const auto instance = std::make_shared<const Instance>(small_instance(21, 24, 12));
+  const BatchJob first{"mrt", SolverOptions::from_string("epsilon=0.05"), instance};
+  const BatchJob second{"mrt", SolverOptions::from_string("epsilon=0.02"), instance};
+
+  const auto first_outcome = service.wait(service.submit(first));
+  const auto second_outcome = service.wait(service.submit(second));
+  ASSERT_EQ(first_outcome.status, BatchItemStatus::kOk);
+  ASSERT_EQ(second_outcome.status, BatchItemStatus::kOk);
+  EXPECT_FALSE(second_outcome.cache_hit);
+  EXPECT_GE(service.stats().workspace_reuses, 1u);
+
+  const auto strip_audit = [](SolverResult result) {
+    auto& stats = result.stats;
+    std::erase_if(stats, [](const std::pair<std::string, double>& stat) {
+      return stat.first.rfind("workspace.", 0) == 0;
+    });
+    return result;
+  };
+  BatchJsonOptions json;
+  json.include_timing = false;
+  json.include_schedules = true;
+  for (const auto* pair : {&first, &second}) {
+    const bool is_first = pair == &first;
+    const auto& outcome = is_first ? first_outcome : second_outcome;
+    const auto direct = solve(pair->solver, *pair->instance, pair->options);
+    auto streamed_item = report_from({outcome});
+    streamed_item.items[0].result = strip_audit(*streamed_item.items[0].result);
+    BatchReport direct_report;
+    BatchItem item;
+    item.index = outcome.ticket;
+    item.status = BatchItemStatus::kOk;
+    item.result = strip_audit(direct);
+    direct_report.items.push_back(std::move(item));
+    direct_report.ok = 1;
+    EXPECT_EQ(batch_report_json(streamed_item, json), batch_report_json(direct_report, json));
+  }
+}
+
+// ------------------------------------------------- cancellation + shutdown
+
+TEST(SchedulerService, CancellationMidStreamDeliversInOrder) {
+  const auto gate = std::make_shared<Gate>();
+  const auto registry = gated_registry(gate);
+  ServiceOptions options;
+  options.threads = 1;
+  options.registry = &registry;
+  SchedulerService service(options);
+  std::vector<JobOutcome> streamed;
+  service.on_result([&streamed](const JobOutcome& outcome) { streamed.push_back(outcome); });
+
+  const auto running = service.submit({"gate", {}, small_instance(31)});
+  const auto pending = service.submit({"seq", {}, small_instance(32)});
+  const auto doomed = service.submit({"seq", {}, small_instance(33)});
+  gate->wait_entered();
+
+  EXPECT_TRUE(service.cancel(doomed));    // still queued: cancels
+  EXPECT_FALSE(service.cancel(running));  // already running: refused
+  // Cancelled outcome is observable immediately via poll ...
+  ASSERT_TRUE(service.poll(doomed).has_value());
+  EXPECT_EQ(service.poll(doomed)->status, BatchItemStatus::kCancelled);
+  // ... but enters the stream only in ticket order, after its predecessors.
+  EXPECT_TRUE(streamed.empty());
+
+  gate->release();
+  service.drain();
+  ASSERT_EQ(streamed.size(), 3u);
+  EXPECT_EQ(streamed[0].ticket, running.id);
+  EXPECT_EQ(streamed[0].status, BatchItemStatus::kOk);
+  EXPECT_EQ(streamed[1].ticket, pending.id);
+  EXPECT_EQ(streamed[1].status, BatchItemStatus::kOk);
+  EXPECT_EQ(streamed[2].ticket, doomed.id);
+  EXPECT_EQ(streamed[2].status, BatchItemStatus::kCancelled);
+
+  EXPECT_FALSE(service.cancel(pending));  // terminal: refused
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+// The documented cancel-inside-the-callback case: delivery is re-entrant
+// (rescan protocol), so cancelling a later queued ticket from the stream
+// neither deadlocks nor breaks ticket order.
+TEST(SchedulerService, CancelFromInsideTheCallbackDoesNotDeadlock) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  std::vector<std::pair<std::uint64_t, BatchItemStatus>> streamed;
+  service.on_result([&](const JobOutcome& outcome) {
+    streamed.emplace_back(outcome.ticket, outcome.status);
+    if (outcome.ticket == 0) {
+      // Tickets are dense in submission order, and the atomic three-job
+      // submission below guarantees ticket 2 exists; with one worker (busy
+      // delivering ticket 0 right now) it is still queued, so this cancels.
+      EXPECT_TRUE(service.cancel(JobTicket{2}));
+    }
+  });
+  const BatchJob job{"naive", SolverOptions::from_string("policy=lpt-seq"),
+                     std::make_shared<const Instance>(small_instance(81))};
+  static_cast<void>(service.submit({job, job, job}, SubmitOptions{false}));
+  service.drain();
+  ASSERT_EQ(streamed.size(), 3u);
+  EXPECT_EQ(streamed[0], (std::pair<std::uint64_t, BatchItemStatus>{0, BatchItemStatus::kOk}));
+  EXPECT_EQ(streamed[1], (std::pair<std::uint64_t, BatchItemStatus>{1, BatchItemStatus::kOk}));
+  EXPECT_EQ(streamed[2],
+            (std::pair<std::uint64_t, BatchItemStatus>{2, BatchItemStatus::kCancelled}));
+}
+
+TEST(SchedulerService, ShutdownWithPendingJobsCancelsThemAndJoins) {
+  const auto gate = std::make_shared<Gate>();
+  const auto registry = gated_registry(gate);
+  ServiceOptions options;
+  options.threads = 1;
+  options.registry = &registry;
+  SchedulerService service(options);
+  std::vector<JobOutcome> streamed;
+  service.on_result([&streamed](const JobOutcome& outcome) { streamed.push_back(outcome); });
+
+  const auto running = service.submit({"gate", {}, small_instance(41)});
+  std::vector<JobTicket> pending;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    pending.push_back(service.submit({"seq", {}, small_instance(42 + s)}));
+  }
+  gate->wait_entered();
+
+  // Shutdown from another thread while a solve is in flight: it must wait
+  // for the running job, cancel the queued ones, and join cleanly. The gate
+  // is held shut until shutdown has visibly cancelled the queued jobs, so
+  // none of them can sneak into the worker first.
+  std::thread stopper([&service] { service.shutdown(); });
+  while (service.stats().cancelled < pending.size()) {
+    std::this_thread::yield();
+  }
+  gate->release();
+  stopper.join();
+
+  EXPECT_EQ(service.wait(running).status, BatchItemStatus::kOk);
+  for (const auto ticket : pending) {
+    const auto outcome = service.poll(ticket);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->status, BatchItemStatus::kCancelled);
+  }
+  ASSERT_EQ(streamed.size(), 1u + pending.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) EXPECT_EQ(streamed[i].ticket, i);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 5u);
+  EXPECT_EQ(stats.delivered, 6u);
+
+  EXPECT_THROW(static_cast<void>(service.submit({"seq", {}, small_instance(50)})),
+               std::runtime_error);
+  service.shutdown();  // idempotent
+}
+
+TEST(SchedulerService, DrainCoversEverythingSubmittedBeforeTheCall) {
+  SchedulerService service{ServiceOptions{}};
+  const auto jobs = mixed_jobs_with_duplicates(8);
+  const auto tickets = service.submit(jobs);
+  service.drain();
+  for (const auto ticket : tickets) {
+    ASSERT_TRUE(service.poll(ticket).has_value());
+  }
+  EXPECT_EQ(service.stats().delivered, jobs.size());
+  service.drain();  // idempotent on a quiet service
+}
+
+TEST(SchedulerService, OnResultAfterFirstSubmitThrows) {
+  SchedulerService service{ServiceOptions{}};
+  static_cast<void>(service.submit({"naive", SolverOptions::from_string("policy=lpt-seq"),
+                                    small_instance(61)}));
+  EXPECT_THROW(service.on_result([](const JobOutcome&) {}), std::logic_error);
+  service.drain();
+}
+
+// --------------------------------------------------------------- SolveCache
+
+TEST(SolveCache, ContentAddressingSurvivesRegenerationAndCatchesDifferences) {
+  const auto base = std::make_shared<const Instance>(small_instance(71));
+  const auto same_content = std::make_shared<const Instance>(small_instance(71));
+  const auto different = std::make_shared<const Instance>(small_instance(72));
+  const auto options = SolverOptions::from_string("epsilon=0.05");
+
+  const auto key_a = SolveCache::make_key("mrt", options, base);
+  const auto key_b = SolveCache::make_key("mrt", options, same_content);
+  const auto key_c = SolveCache::make_key("mrt", options, different);
+  const auto key_d = SolveCache::make_key("two_phase", options, base);
+  EXPECT_EQ(key_a.fingerprint, key_b.fingerprint);
+  EXPECT_NE(key_a.fingerprint, key_c.fingerprint);
+  EXPECT_NE(key_a.fingerprint, key_d.fingerprint);
+
+  SolveCache cache(4);
+  const auto result = solve("mrt", *base, options);
+  cache.insert(key_a, result);
+  EXPECT_NE(cache.lookup(key_b), nullptr);  // same content, new object
+  EXPECT_EQ(cache.lookup(key_c), nullptr);
+  EXPECT_EQ(cache.lookup(key_d), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(SolveCache, ZeroCapacityDisablesEverything) {
+  SolveCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const auto instance = std::make_shared<const Instance>(small_instance(73));
+  const auto key = SolveCache::make_key("mrt", {}, instance);
+  cache.insert(key, solve("mrt", *instance));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled lookups do not count
+}
+
+// --------------------------------------------------------------- WorkerPool
+
+TEST(WorkerPool, RunsTasksInPostOrderPerThreadAndWaitsIdle) {
+  WorkerPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    pool.post([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WorkerPool, ShutdownDiscardsQueuedTasksAndRejectsNewOnes) {
+  const auto gate = std::make_shared<Gate>();
+  WorkerPool pool(1);
+  std::atomic<int> ran{0};
+  pool.post([&] {
+    gate->enter_and_wait();
+    ++ran;
+  });
+  gate->wait_entered();
+  for (int i = 0; i < 5; ++i) {
+    pool.post([&] { ++ran; });
+  }
+  // Release the gate only once shutdown has discarded the queue, so the
+  // worker cannot race ahead and run a task that should have been dropped.
+  std::thread stopper([&pool] { pool.shutdown(); });
+  while (pool.queued() != 0) {
+    std::this_thread::yield();
+  }
+  gate->release();
+  stopper.join();
+  EXPECT_EQ(ran.load(), 1) << "queued-but-unstarted tasks must be discarded";
+  EXPECT_THROW(pool.post([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace malsched
