@@ -3,14 +3,17 @@
 // per-experiment bench mains with a machine-readable artifact.
 //
 // Every case dispatches through the SchedulerService (the production serving
-// path: persistent workers, ordered delivery, optional solve cache), and the
-// result lands in BENCH_<rev>.json: per case, the makespan ratio against the
-// certified lower bound, wall time (steady clock, worker-observed -- a cache
-// hit records its serving latency, not the original solve), solver, options,
-// family, seed, size, and whether the solve cache served it. CI runs
-// `bench_suite --smoke` on every PR, validates the file against
-// bench/bench_schema.json, and uploads it -- the perf trajectory of the repo
-// is the sequence of these files.
+// path: persistent workers, ordered delivery, optional solve cache, in-flight
+// dedup) as an API-v2 SolveRequest -- each (family, seed) instance is
+// interned into an InstanceHandle exactly once, so every cache key across
+// the whole sweep reuses the one precomputed fingerprint. The result lands
+// in BENCH_<rev>.json: per case, the makespan ratio against the certified
+// lower bound, wall time (steady clock, worker-observed -- a cache hit or
+// dedup join records its serving latency, not the original solve), solver,
+// options, family, seed, size, and how the case was served (cache_hit,
+// dedup_join). CI runs `bench_suite --smoke` on every PR, validates the file
+// against bench/bench_schema.json, and uploads it -- the perf trajectory of
+// the repo is the sequence of these files.
 //
 //   ./build/bench/bench_suite --smoke
 //   ./build/bench/bench_suite --rev abc1234 --threads 8 --seeds 8
@@ -41,10 +44,12 @@ namespace {
 
 using namespace malsched;
 
-// v3: cases run through the SchedulerService and gain a "cache_hit" field
-// (bool; null when the case produced no result); wall_seconds is now the
-// worker-observed serving time -- schema and validator updated together.
-constexpr int kSchemaVersion = 3;
+// v4 (API v2): cases gain a "dedup_join" field (bool; null when the case
+// produced no result) recording whether the service coalesced the case onto
+// a concurrent identical solve instead of dispatching it -- schema and
+// validator updated together. v3 added "cache_hit" and service-path
+// wall_seconds.
+constexpr int kSchemaVersion = 4;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
@@ -131,6 +136,20 @@ std::vector<FamilyConfig> all_family_configs() {
                         // hash would otherwise hit the uniform family's
                         // same-seed instance from earlier in the sweep).
                         return generate_instance(WorkloadFamily::kUniform, options, 777);
+                      }});
+  // The dedup variant of `repeated`: same shape (one instance, every seed),
+  // its own fixed seed so its content hash collides with nothing else in
+  // the sweep. On cached configs with >1 worker the duplicate submissions
+  // race: before API v2 each racer missed and solved; now they coalesce
+  // onto the first in-flight solve and the case records dedup_join=true.
+  // At --threads 1 (how trajectory artifacts are recorded) the duplicates
+  // serialize into plain cache hits -- the dedup signal lives in the
+  // multi-threaded CI smoke runs.
+  families.push_back({"repeated-dedup", [](int tasks, int machines, std::uint64_t) {
+                        GeneratorOptions options;
+                        options.tasks = tasks;
+                        options.machines = machines;
+                        return generate_instance(WorkloadFamily::kUniform, options, 888);
                       }});
   // Wall-clock scaling ladder: the seed index picks n, 2n, 4n, or 8n tasks,
   // so one sweep measures how each solver's runtime grows with the instance
@@ -299,50 +318,44 @@ int main(int argc, char** argv) {
     int tasks;
     int machines;
   };
-  // Each (family, seed) instance is generated once and shared by every
-  // solver config -- generation (ocean quadtrees, traces, trees) is not free,
-  // and BatchJob's shared_ptr makes the sharing itself free. Generators are
-  // pure functions of their seed, so the fill parallelizes like the solves.
-  std::vector<std::shared_ptr<const Instance>> pool(
-      families.size() * static_cast<std::size_t>(seeds));
+  // Each (family, seed) instance is generated and INTERNED once, shared by
+  // every solver config -- generation (ocean quadtrees, traces, trees) is
+  // not free, and the handle carries the content fingerprint + static lower
+  // bound with it, so no layer below re-derives either for any of the
+  // sweep's requests. Generators are pure functions of their seed, so the
+  // fill parallelizes like the solves.
+  std::vector<InstanceHandle> pool(families.size() * static_cast<std::size_t>(seeds));
   parallel_for(pool.size(), [&](std::size_t i) {
     const auto& family = families[i / static_cast<std::size_t>(seeds)];
     const auto s = i % static_cast<std::size_t>(seeds);
-    pool[i] = std::make_shared<const Instance>(
+    pool[i] = InstanceHandle::intern(
         family.make(tasks, machines, 9000 + static_cast<std::uint64_t>(s)));
   }, threads);
 
   std::vector<CaseMeta> cases;
-  std::vector<BatchJob> jobs;
-  std::vector<bool> cached_flags;
+  std::vector<SolveRequest> requests;
   for (const auto& solver : solvers) {
     const auto options = SolverOptions::from_string(solver.options);
     for (std::size_t f = 0; f < families.size(); ++f) {
       for (int s = 0; s < seeds; ++s) {
-        const auto& instance = pool[f * static_cast<std::size_t>(seeds) +
-                                    static_cast<std::size_t>(s)];
+        const auto& handle = pool[f * static_cast<std::size_t>(seeds) +
+                                  static_cast<std::size_t>(s)];
         cases.push_back({&solver, &families[f], 9000 + static_cast<std::uint64_t>(s),
-                         instance->size(), instance->machines()});
-        jobs.push_back({solver.solver, options, instance});
-        cached_flags.push_back(solver.cached);
+                         handle.instance().size(), handle.instance().machines()});
+        // Only configs marked `cached` consult the solve cache (and with it
+        // the in-flight dedup), so plain configs keep measuring real solves.
+        requests.emplace_back(solver.solver, options, handle, solver.cached);
       }
     }
   }
 
-  // The production serving path: one long-lived service, jobs submitted in
-  // case order, outcomes collected by ticket. Only configs marked `cached`
-  // consult the solve cache, so plain configs keep measuring real solves.
+  // The production serving path: one long-lived service, requests submitted
+  // in case order, outcomes collected by ticket.
   ServiceOptions service_options;
   service_options.threads = threads;
   const Stopwatch run_stopwatch;
   SchedulerService service(service_options);
-  std::vector<JobTicket> tickets;
-  tickets.reserve(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    SubmitOptions submit;
-    submit.cache = cached_flags[i];
-    tickets.push_back(service.submit(std::move(jobs[i]), submit));
-  }
+  const std::vector<JobTicket> tickets = service.submit(std::move(requests));
   service.drain();
   std::vector<JobOutcome> outcomes;
   outcomes.reserve(tickets.size());
@@ -412,9 +425,12 @@ int main(int argc, char** argv) {
       kv_optional("iterations", stat("iterations"));
       kv_optional("allocations", stat("workspace.allocations"));
       json.kv("cache_hit", outcome.cache_hit);
+      // v4: whether the service coalesced this case onto a concurrent
+      // identical in-flight solve instead of dispatching it.
+      json.kv("dedup_join", outcome.dedup_join);
     } else {
       for (const char* field : {"makespan", "lower_bound", "ratio", "wall_seconds",
-                                "iterations", "allocations", "cache_hit"}) {
+                                "iterations", "allocations", "cache_hit", "dedup_join"}) {
         json.key(field);
         json.null_value();
       }
@@ -441,28 +457,31 @@ int main(int argc, char** argv) {
   std::cout << "bench_suite: " << cases.size() << " cases (" << solvers.size() << " solvers x "
             << families.size() << " families x " << seeds << " seeds) on " << service.threads()
             << " threads in " << cell(run_wall, 2) << " s -> " << out_path << "\n";
-  if (service_stats.cache_misses + service_stats.cache_hits > 0) {
+  if (service_stats.cache_misses + service_stats.cache_hits + service_stats.dedup_joins > 0) {
     std::cout << "solve cache: " << service_stats.cache_hits << " hits / "
               << service_stats.cache_misses << " misses ("
               << service_stats.cache_evictions << " evictions, "
-              << service_stats.cache_entries << " resident)\n";
+              << service_stats.cache_entries << " resident); "
+              << service_stats.dedup_joins << " in-flight dedup joins\n";
   }
   std::cout << "\n";
 
-  Table table({"config", "ratio mean", "ratio max", "wall ms mean", "cache hits"});
+  Table table({"config", "ratio mean", "ratio max", "wall ms mean", "cache hits", "joins"});
   for (const auto& solver : solvers) {
     Summary ratios;
     Summary walls;
     std::size_t hits = 0;
+    std::size_t joins = 0;
     for (std::size_t i = 0; i < cases.size(); ++i) {
       if (cases[i].solver != &solver || !outcomes[i].result) continue;
       ratios.add(outcomes[i].result->ratio);
       walls.add(outcomes[i].wall_seconds * 1e3);
       if (outcomes[i].cache_hit) ++hits;
+      if (outcomes[i].dedup_join) ++joins;
     }
     if (ratios.count() == 0) continue;
     table.add_row({solver.name, cell(ratios.mean(), 3), cell(ratios.max(), 3),
-                   cell(walls.mean(), 2), cell(hits)});
+                   cell(walls.mean(), 2), cell(hits), cell(joins)});
   }
   table.print(std::cout);
 

@@ -3,19 +3,21 @@
 
 Standard library only, like validate_bench_json.py. Cases are grouped into
 (config, family) cells; for every cell present in both artifacts the mean
-wall-clock, mean makespan ratio, and solve-cache hit fraction are compared,
-and the wall-clock delta is judged against a regression threshold (default
-+20%). Cells that exist in only one artifact are listed but never fail the
-run (new solvers/families join the sweep over time), and older artifacts
-(v1: no per-case counters; v2: no cache_hit) compare fine against v3 ones --
-missing fields read as absent/zero.
+wall-clock, mean makespan ratio, and served fraction (solve-cache hits plus
+v4 in-flight dedup joins -- both answer a case without dispatching a fresh
+solve) are compared, and the wall-clock delta is judged against a
+regression threshold (default +20%). Cells that exist in only one artifact
+are listed but never fail the run (new solvers/families join the sweep over
+time), and older artifacts (v1: no per-case counters; v2: no cache_hit;
+v3: no dedup_join) compare fine against v4 ones -- missing fields read as
+absent/zero.
 
 Cells whose baseline mean wall-clock sits below the --min-wall floor
 (default 100 us) are printed but never flagged: at that scale the delta is
-timer and scheduler noise, not a regression signal. Cells whose cache hit
+timer and scheduler noise, not a regression signal. Cells whose served
 fraction CHANGED between the runs are annotated and exempted too: a wall
-delta caused by more (or fewer) cache hits reflects cache behavior, not
-solver performance.
+delta caused by more (or fewer) cache hits / dedup joins reflects serving
+behavior, not solver performance.
 
 Exit status: 0 when no cell regressed, 1 on a wall-clock regression beyond
 the threshold, 2 on usage/IO errors. CI runs this informationally
@@ -30,10 +32,11 @@ import sys
 
 
 def load_cells(path):
-    """(config, family) -> means over ok cases: wall, ratio, cache-hit fraction.
+    """(config, family) -> means over ok cases: wall, ratio, served fraction.
 
-    cache_hit is a v3 field; absent (older artifacts) or null counts as a
-    non-hit, so pre-cache baselines read as a 0.0 hit fraction.
+    "Served" = cache_hit (v3) or dedup_join (v4): either way the case was
+    answered without a fresh dispatch. Absent (older artifacts) or null
+    counts as not-served, so pre-cache baselines read as a 0.0 fraction.
     """
     try:
         with open(path, encoding="utf-8") as f:
@@ -49,7 +52,7 @@ def load_cells(path):
         cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "hits": 0.0, "count": 0})
         cell["wall"] += case["wall_seconds"]
         cell["ratio"] += case.get("ratio") or 0.0
-        cell["hits"] += 1.0 if case.get("cache_hit") else 0.0
+        cell["hits"] += 1.0 if (case.get("cache_hit") or case.get("dedup_join")) else 0.0
         cell["count"] += 1
     for cell in sums.values():
         cell["wall"] /= cell["count"]
@@ -95,9 +98,10 @@ def main(argv):
     print(f"baseline {base_rev} ({paths[0]}) vs {new_rev} ({paths[1]}), "
           f"wall regression threshold +{threshold:.0%} "
           f"(cells under {min_wall * 1e3:g} ms baseline wall exempt as noise; "
-          f"cells whose cache-hit fraction changed exempt as cache behavior)")
+          f"cells whose served fraction -- cache hits + dedup joins -- changed "
+          f"exempt as serving behavior)")
     header = f"{'config':<18} {'family':<16} {'wall old':>10} {'wall new':>10} " \
-             f"{'delta':>8} {'ratio old':>10} {'ratio new':>10} {'hit% old':>9} {'hit% new':>9}"
+             f"{'delta':>8} {'ratio old':>10} {'ratio new':>10} {'srv% old':>9} {'srv% new':>9}"
     print(header)
     print("-" * len(header))
     regressions = []
@@ -109,7 +113,7 @@ def main(argv):
         regressed = delta > threshold and old_cell["wall"] >= min_wall and not hits_changed
         flag = " <-- REGRESSION" if regressed else ""
         if hits_changed and delta > threshold:
-            flag = " (wall delta tracks cache-hit change; exempt)"
+            flag = " (wall delta tracks served-fraction change; exempt)"
         if regressed:
             regressions.append(key)
         print(f"{key[0]:<18} {key[1]:<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "

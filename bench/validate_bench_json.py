@@ -4,9 +4,10 @@
 Standard library only (CI and the dev container both lack jsonschema), so
 this implements the subset of JSON Schema the checked-in schema uses:
 type (string or list, with "integer" meaning an integral number and
-"boolean" covering the v3 per-case cache_hit flag), required, properties,
-items, enum, const (pins schema_version, so a v2 artifact fails against
-the v3 schema instead of sliding through), minimum, and minItems.
+"boolean" covering the per-case cache_hit/dedup_join flags of v3/v4),
+required, properties, items, enum, const (pins schema_version, so a v3
+artifact fails against the v4 schema instead of sliding through), minimum,
+and minItems.
 Unknown schema keywords are rejected loudly rather than silently ignored, so
 the schema cannot drift ahead of the validator.
 

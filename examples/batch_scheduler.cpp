@@ -1,17 +1,19 @@
 // HPC batch scheduling with moldable jobs, through the service front door:
 // a long-lived SchedulerService drains queue snapshots with the sqrt(3)
 // scheduler against the strategies an operator might hand-roll (fixed
-// user-requested widths, pure sequential backfill). Jobs are submitted as
-// they "arrive" and stream back in ticket order no matter which worker
-// finished first; a second drain of the same snapshots then shows the
-// content-hash solve cache answering the whole round from memory -- the
-// daemon-shaped workload (Wu & Loiseau's cloud batches, re-evaluated queue
-// snapshots) the service API exists for.
+// user-requested widths, pure sequential backfill). Each snapshot is
+// interned ONCE into an InstanceHandle (content fingerprint + static lower
+// bound computed up front) and submitted as API-v2 SolveRequests; results
+// stream back in ticket order no matter which worker finished first. A
+// second drain of the same snapshots then shows the content-addressed solve
+// cache answering the whole round from memory -- and with several workers,
+// racing duplicates coalesce in flight (dedup_join) instead of solving
+// twice -- the daemon-shaped workload (Wu & Loiseau's cloud batches,
+// re-evaluated queue snapshots) the service API exists for.
 //
 // Run: ./build/examples/batch_scheduler
 
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "api/scheduler_service.hpp"
@@ -59,18 +61,19 @@ int main() {
   });
 
   // Three strategies per snapshot; tickets[3*s] is MRT on snapshot s,
-  // followed by the two naive anchors. The snapshot instance is shared by
-  // its three jobs, not copied.
-  std::vector<std::shared_ptr<const Instance>> snapshots;
+  // followed by the two naive anchors. Each snapshot is interned once; its
+  // three requests share the handle (and its precomputed fingerprint), so
+  // nothing below re-reads the profile bits.
+  std::vector<InstanceHandle> snapshots;
   std::vector<JobTicket> tickets;
   const Stopwatch first_round;
   for (int snapshot = 0; snapshot < kSnapshots; ++snapshot) {
-    const auto instance = std::make_shared<const Instance>(
+    const auto handle = InstanceHandle::intern(
         trace_snapshot(options, 500 + static_cast<std::uint64_t>(snapshot)));
-    snapshots.push_back(instance);
-    tickets.push_back(service.submit({"mrt", {}, instance}));
-    tickets.push_back(service.submit({"naive", half_speedup, instance}));
-    tickets.push_back(service.submit({"naive", lpt_seq, instance}));
+    snapshots.push_back(handle);
+    tickets.push_back(service.submit({"mrt", {}, handle}));
+    tickets.push_back(service.submit({"naive", half_speedup, handle}));
+    tickets.push_back(service.submit({"naive", lpt_seq, handle}));
   }
   service.drain();
   const double first_round_ms = first_round.millis();
@@ -79,7 +82,7 @@ int main() {
                "speedup vs lpt"});
   Summary mrt_util;
   for (int snapshot = 0; snapshot < kSnapshots; ++snapshot) {
-    const auto& instance = *snapshots[static_cast<std::size_t>(snapshot)];
+    const auto& instance = snapshots[static_cast<std::size_t>(snapshot)].instance();
     const auto mrt = service.wait(tickets[static_cast<std::size_t>(3 * snapshot)]);
     const auto half = service.wait(tickets[static_cast<std::size_t>(3 * snapshot + 1)]);
     const auto lpt = service.wait(tickets[static_cast<std::size_t>(3 * snapshot + 2)]);
@@ -103,26 +106,29 @@ int main() {
   const Stopwatch second_round;
   std::vector<JobTicket> repeat_tickets;
   for (int snapshot = 0; snapshot < kSnapshots; ++snapshot) {
-    const auto& instance = snapshots[static_cast<std::size_t>(snapshot)];
-    repeat_tickets.push_back(service.submit({"mrt", {}, instance}));
-    repeat_tickets.push_back(service.submit({"naive", half_speedup, instance}));
-    repeat_tickets.push_back(service.submit({"naive", lpt_seq, instance}));
+    const auto& handle = snapshots[static_cast<std::size_t>(snapshot)];
+    repeat_tickets.push_back(service.submit({"mrt", {}, handle}));
+    repeat_tickets.push_back(service.submit({"naive", half_speedup, handle}));
+    repeat_tickets.push_back(service.submit({"naive", lpt_seq, handle}));
   }
   service.drain();
   const double second_round_ms = second_round.millis();
-  std::size_t repeat_hits = 0;
+  std::size_t repeat_served = 0;
   for (const auto ticket : repeat_tickets) {
-    if (service.wait(ticket).cache_hit) ++repeat_hits;
+    const auto outcome = service.wait(ticket);
+    if (outcome.cache_hit || outcome.dedup_join) ++repeat_served;
   }
 
   const auto stats = service.stats();
   std::cout << "\nfirst drain:  " << tickets.size() << " solves on " << service.threads()
             << " thread(s) in " << cell(first_round_ms, 1) << " ms\n";
-  std::cout << "second drain: " << repeat_hits << "/" << repeat_tickets.size()
-            << " cache hits in " << cell(second_round_ms, 1) << " ms\n";
+  std::cout << "second drain: " << repeat_served << "/" << repeat_tickets.size()
+            << " served from memory (cache hits + in-flight joins) in "
+            << cell(second_round_ms, 1) << " ms\n";
   std::cout << "stream: " << streamed << " results delivered "
             << (stream_ordered ? "in ticket order" : "OUT OF ORDER (bug!)") << "; cache "
-            << stats.cache_hits << " hits / " << stats.cache_misses << " misses\n";
+            << stats.cache_hits << " hits / " << stats.cache_misses << " misses; "
+            << stats.dedup_joins << " dedup joins\n";
   std::cout << "\nmean MRT utilization: " << cell(mrt_util.mean(), 1)
             << "% -- the dual search squeezes the queue against its certified lower\n"
             << "bound, so idle area only remains where the speedup curves flatten.\n";

@@ -1,0 +1,14 @@
+#include "api/request.hpp"
+
+namespace malsched {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kError: return "error";
+    case SolveStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace malsched

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "api/solver_options.hpp"
+#include "api/solver_result.hpp"
+#include "model/instance_handle.hpp"
+
+/// API v2: the typed unit of work every front end speaks.
+///
+/// One SolveRequest describes one job -- WHICH solver, HOW configured, on
+/// WHAT instance (by interned InstanceHandle, so the content fingerprint and
+/// static lower bound travel with the request instead of being re-derived by
+/// each layer) -- plus per-request serving flags. One SolveOutcome is its
+/// terminal result plus provenance: how the answer was produced (fresh
+/// solve, cache hit, or dedup join), by which worker, and what it cost the
+/// serving path.
+///
+/// Registry (`SolverRegistry::solve(request)`), closed batches
+/// (`solve_batch(requests)`), and the long-lived service
+/// (`SchedulerService::submit(request)`) all accept SolveRequest directly;
+/// the pre-v2 `Instance`/`BatchJob` entry points remain as thin interning
+/// shims (each shim call re-fingerprints -- intern once and reuse the handle
+/// to stay on the zero-re-hash path).
+namespace malsched {
+
+/// Terminal status of one request, shared by batch items and service
+/// outcomes so the two compare directly.
+enum class SolveStatus {
+  kOk,         ///< solved and validated
+  kError,      ///< the solve threw; `error` holds the message
+  kCancelled,  ///< skipped: cancellation (or stop_on_error) fired first
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct SolveRequest {
+  /// Default = empty request (invalid handle); exists so containers and
+  /// slots stay default-constructible. Every consuming API rejects it.
+  SolveRequest() = default;
+
+  SolveRequest(std::string solver_name, SolverOptions solver_options, InstanceHandle handle,
+               bool consult_cache = true)
+      : instance(std::move(handle)),
+        solver(std::move(solver_name)),
+        options(std::move(solver_options)),
+        use_cache(consult_cache) {}
+
+  InstanceHandle instance;  ///< interned identity; must be valid() when submitted
+  std::string solver;       ///< registry name to dispatch to
+  SolverOptions options;    ///< validated against the solver's OptionSpec table
+  /// Consult/populate the solve cache and join in-flight duplicates (no-op
+  /// for layers without a cache). Off for jobs that must measure a real
+  /// solve.
+  bool use_cache{true};
+};
+
+/// Terminal outcome of one request: the result (engaged iff kOk) plus the
+/// provenance of how it was served.
+struct SolveOutcome {
+  std::uint64_t ticket{0};  ///< service ticket / batch index that produced it
+  SolveStatus status{SolveStatus::kCancelled};
+  std::optional<SolverResult> result;  ///< engaged iff status == kOk
+  std::string error;                   ///< non-empty iff status == kError
+
+  // ------------------------------------------------------------ provenance
+  bool cache_hit{false};   ///< served from the solve cache, no dispatch
+  bool dedup_join{false};  ///< coalesced onto a concurrent identical solve
+  /// Pool worker that produced (or served) the result; -1 when the outcome
+  /// was produced off-pool (cancellation, shutdown).
+  int worker{-1};
+  /// Worker-observed seconds from dequeue to completion (steady clock);
+  /// near-zero for cache hits, and for dedup joins the time spent waiting on
+  /// the leader -- the serving-path latency, as opposed to
+  /// result->wall_seconds, which is the original solve's cost.
+  double wall_seconds{0.0};
+};
+
+}  // namespace malsched

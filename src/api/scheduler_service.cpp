@@ -1,11 +1,11 @@
 #include "api/scheduler_service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
 #include "core/dual_workspace.hpp"
-#include "support/stopwatch.hpp"
 
 namespace malsched {
 
@@ -39,12 +39,30 @@ DualWorkspace* thread_workspace(const std::shared_ptr<const Instance>& job_insta
   return tls_scratch.workspace.get();
 }
 
+SolveCacheConfig cache_config(const ServiceOptions& options) {
+  SolveCacheConfig config;
+  config.capacity = options.cache ? options.cache_capacity : 0;
+  config.max_bytes = options.cache_max_bytes;
+  config.ttl_seconds = options.cache_ttl_seconds;
+  return config;
+}
+
+/// Terminal slots never read their request again (run_job copies what it
+/// needs at dequeue); dropping the payload here keeps a long-lived service
+/// from pinning every instance it ever saw. Outcomes stay poll()-able.
+void release_request_payload(SolveRequest& request) {
+  request.instance = InstanceHandle{};
+  request.options = SolverOptions{};
+  request.solver.clear();
+  request.solver.shrink_to_fit();
+}
+
 }  // namespace
 
 SchedulerService::SchedulerService(ServiceOptions options)
     : options_(options),
       registry_(options.registry != nullptr ? options.registry : &SolverRegistry::global()),
-      cache_(options.cache ? options.cache_capacity : 0),
+      cache_(cache_config(options)),
       pool_(options.threads) {}
 
 SchedulerService::~SchedulerService() { shutdown(); }
@@ -59,12 +77,15 @@ void SchedulerService::on_result(ResultCallback callback) {
   callback_ = std::move(callback);
 }
 
-JobTicket SchedulerService::enqueue_locked(BatchJob job, SubmitOptions options) {
+JobTicket SchedulerService::enqueue_locked(SolveRequest request) {
   if (!accepting_) {
     throw std::runtime_error("SchedulerService: submit() after shutdown()");
   }
+  if (!request.instance.valid()) {
+    throw std::invalid_argument("SchedulerService: submit() with an empty InstanceHandle");
+  }
   const std::uint64_t id = slots_.size();
-  slots_.push_back(Slot{std::move(job), options, JobState::kQueued, JobOutcome{}});
+  slots_.push_back(Slot{std::move(request), JobState::kQueued, SolveOutcome{}, false, false});
   ++stats_.submitted;
   // Posting under the state lock is safe (the pool never calls back into the
   // service while holding its own lock) and makes accepting_ imply a live
@@ -73,106 +94,199 @@ JobTicket SchedulerService::enqueue_locked(BatchJob job, SubmitOptions options) 
   return JobTicket{id};
 }
 
-JobTicket SchedulerService::submit(BatchJob job, SubmitOptions options) {
+JobTicket SchedulerService::submit(SolveRequest request) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return enqueue_locked(std::move(job), options);
+  return enqueue_locked(std::move(request));
 }
 
-std::vector<JobTicket> SchedulerService::submit(std::vector<BatchJob> jobs,
-                                                SubmitOptions options) {
+std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> requests) {
+  // All-or-nothing, as documented: validate every handle BEFORE the first
+  // enqueue, so a bad request mid-vector cannot leave earlier jobs running
+  // with their tickets lost to the throwing caller.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].instance.valid()) {
+      throw std::invalid_argument("SchedulerService: request " + std::to_string(i) +
+                                  " carries an empty InstanceHandle");
+    }
+  }
   std::vector<JobTicket> tickets;
-  tickets.reserve(jobs.size());
+  tickets.reserve(requests.size());
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& job : jobs) {
-    tickets.push_back(enqueue_locked(std::move(job), options));
+  if (!accepting_) {
+    throw std::runtime_error("SchedulerService: submit() after shutdown()");
+  }
+  for (auto& request : requests) {
+    tickets.push_back(enqueue_locked(std::move(request)));
   }
   return tickets;
 }
 
+JobTicket SchedulerService::submit(BatchJob job, SubmitOptions options) {
+  auto request = job.to_request();
+  request.use_cache = options.cache;
+  return submit(std::move(request));
+}
+
+std::vector<JobTicket> SchedulerService::submit(std::vector<BatchJob> jobs,
+                                                SubmitOptions options) {
+  auto requests = intern_jobs(jobs);
+  for (auto& request : requests) request.use_cache = options.cache;
+  return submit(std::move(requests));
+}
+
+SchedulerService::Inflight* SchedulerService::find_inflight_locked(const SolveCache::Key& key) {
+  const auto bucket = inflight_.find(key.fingerprint);
+  if (bucket == inflight_.end()) return nullptr;
+  for (auto& flight : bucket->second) {
+    if (SolveCache::same_key(flight.key, key)) return &flight;
+  }
+  return nullptr;
+}
+
 void SchedulerService::run_job(std::uint64_t id) {
-  std::string solver;
-  SolverOptions solver_options;
-  std::shared_ptr<const Instance> instance;
+  SolveRequest request;
   bool use_cache = false;
+  bool use_dedup = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     Slot& slot = slots_[id];
     if (slot.state != JobState::kQueued) return;  // cancelled before start
     slot.state = JobState::kRunning;
-    solver = slot.job.solver;
-    solver_options = slot.job.options;
-    instance = slot.job.instance;
-    use_cache = cache_.enabled() && slot.submit_options.cache;
+    request = slot.request;
+    use_cache = cache_.enabled() && request.use_cache;
+    // Dedup rides the cache flags: a request that opted out must measure a
+    // real solve (not adopt someone else's), and a cache-disabled service
+    // is the documented way to force exactly that service-wide.
+    use_dedup = options_.dedup && use_cache;
   }
 
   const Stopwatch stopwatch;
-  JobOutcome outcome;
+  SolveOutcome outcome;
   outcome.ticket = id;
+  outcome.worker = WorkerPool::current_worker();
 
   std::optional<SolveCache::Key> key;
   if (use_cache) {
-    key = SolveCache::make_key(solver, solver_options, instance);
+    // Zero profile re-hashing here: the key mixes the handle's interned
+    // fingerprint with the two identity strings (audited by test). The hit
+    // path stays entirely outside the service mutex.
+    key = SolveCache::make_key(request.solver, request.options, request.instance);
     if (const auto cached = cache_.lookup(*key)) {
-      outcome.status = BatchItemStatus::kOk;
+      outcome.status = SolveStatus::kOk;
       outcome.result = *cached;  // copied outside the cache lock
       outcome.cache_hit = true;
       outcome.wall_seconds = stopwatch.seconds();
-      finish(id, std::move(outcome), /*reused_workspace=*/false);
+      finish(id, std::move(outcome), /*reused_workspace=*/false, nullptr);
       return;
     }
   }
 
+  if (use_dedup) {
+    // Atomic miss-or-join: the inflight check and leader registration share
+    // one lock, so two identical misses cannot both become leaders -- the
+    // second always joins the first. (A leader that finished BETWEEN our
+    // unlocked miss above and this lock leaves both the map and a populated
+    // cache behind; we then re-solve redundantly but deterministically --
+    // the same behavior every duplicate had before dedup existed.)
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (Inflight* flight = find_inflight_locked(*key)) {
+      flight->joiners.push_back(Inflight::Joiner{id, stopwatch});
+      ++stats_.dedup_joins;
+      return;  // non-blocking: the leader's finish() completes this slot
+    }
+    inflight_[key->fingerprint].push_back(Inflight{*key, id, {}});
+  }
+
   bool reused_workspace = false;
   SolveContext context;
+  const std::shared_ptr<const Instance>& instance = request.instance.shared();
   if (options_.reuse_workspaces) {
     context.workspace_provider = [&instance, &reused_workspace](const Instance& requested) {
       return thread_workspace(instance, requested, reused_workspace);
     };
   }
   try {
-    outcome.result = registry_->solve(solver, *instance, solver_options, context);
-    outcome.status = BatchItemStatus::kOk;
+    outcome.result = registry_->solve(request, context);
+    outcome.status = SolveStatus::kOk;
   } catch (const std::exception& err) {
-    outcome.status = BatchItemStatus::kError;
+    outcome.status = SolveStatus::kError;
     outcome.error = err.what();
   } catch (...) {
-    outcome.status = BatchItemStatus::kError;
+    outcome.status = SolveStatus::kError;
     outcome.error = "non-standard exception";
   }
-  if (outcome.status == BatchItemStatus::kOk && key.has_value()) {
+  if (outcome.status == SolveStatus::kOk && use_cache) {
     cache_.insert(*key, *outcome.result);
   }
   outcome.wall_seconds = stopwatch.seconds();
-  finish(id, std::move(outcome), reused_workspace);
+  finish(id, std::move(outcome), reused_workspace, use_dedup ? &*key : nullptr);
 }
 
-namespace {
+void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
+                              const SolveCache::Key* inflight_key) {
+  // Leader epilogue, phase 1: detach the coalescing point. No new joiner
+  // can register once the entry is gone, and the cache insert already
+  // happened (run_job), so a concurrent identical request that misses
+  // inflight_ from here on hits the cache.
+  std::vector<Inflight::Joiner> joiners;
+  if (inflight_key != nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto bucket = inflight_.find(inflight_key->fingerprint);
+    if (bucket != inflight_.end()) {
+      auto& flights = bucket->second;
+      const auto it = std::find_if(flights.begin(), flights.end(),
+                                   [id](const Inflight& f) { return f.leader == id; });
+      if (it != flights.end()) {
+        joiners = std::move(it->joiners);
+        flights.erase(it);
+        if (flights.empty()) inflight_.erase(bucket);
+      }
+    }
+  }
 
-/// Terminal slots never read their job again (run_job copies what it needs
-/// at dequeue); dropping the payload here keeps a long-lived service from
-/// pinning every Instance it ever saw. Outcomes stay poll()-able.
-void release_job_payload(BatchJob& job) {
-  job.instance.reset();
-  job.options = SolverOptions{};
-  job.solver.clear();
-  job.solver.shrink_to_fit();
-}
+  // Phase 2, outside any lock: every joiner observes the leader's outcome,
+  // bytes included (error outcomes too -- "the same answer" is the
+  // contract, whatever it was). The full SolverResult copies (Schedule
+  // included) happen here, on the still-locally-owned `outcome`, so the
+  // joiner fan-out never stalls the service mutex. Provenance differs:
+  // dedup_join set, serving wall measured from the moment the joiner
+  // coalesced, worker = the leader's (it produced the result this ticket
+  // observes).
+  std::vector<SolveOutcome> joined_outcomes;
+  joined_outcomes.reserve(joiners.size());
+  for (const auto& joiner : joiners) {
+    SolveOutcome joined = outcome;
+    joined.ticket = joiner.id;
+    joined.cache_hit = false;
+    joined.dedup_join = true;
+    joined.wall_seconds = joiner.since.seconds();
+    joined_outcomes.push_back(std::move(joined));
+  }
 
-}  // namespace
-
-void SchedulerService::finish(std::uint64_t id, JobOutcome outcome, bool reused_workspace) {
+  // Phase 3: publish every terminal slot under one lock -- moves only.
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    const auto count = [this](SolveStatus status) {
+      switch (status) {
+        case SolveStatus::kOk: ++stats_.completed; break;
+        case SolveStatus::kError: ++stats_.failed; break;
+        case SolveStatus::kCancelled: ++stats_.cancelled; break;
+      }
+    };
     Slot& slot = slots_[id];
     slot.outcome = std::move(outcome);
     slot.state = JobState::kDone;
-    release_job_payload(slot.job);
-    switch (slot.outcome.status) {
-      case BatchItemStatus::kOk: ++stats_.completed; break;
-      case BatchItemStatus::kError: ++stats_.failed; break;
-      case BatchItemStatus::kCancelled: ++stats_.cancelled; break;
-    }
+    release_request_payload(slot.request);
+    count(slot.outcome.status);
     if (reused_workspace) ++stats_.workspace_reuses;
+
+    for (std::size_t j = 0; j < joiners.size(); ++j) {
+      Slot& joined = slots_[joiners[j].id];
+      joined.outcome = std::move(joined_outcomes[j]);
+      joined.state = JobState::kDone;
+      release_request_payload(joined.request);
+      count(joined.outcome.status);
+    }
   }
   done_cv_.notify_all();
   deliver_ready();
@@ -196,17 +310,21 @@ void SchedulerService::deliver_ready() {
   // Immutable once the first job is submitted, so safe to read unlocked.
   const bool streaming = static_cast<bool>(callback_);
   for (;;) {
-    const JobOutcome* out = nullptr;
+    const SolveOutcome* out = nullptr;
+    std::uint64_t delivered_id = 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       delivery_requested_ = false;
       if (next_delivery_ < slots_.size() &&
           slots_[next_delivery_].state == JobState::kDone) {
         // Safe to hand out past the unlock: a terminal outcome is immutable,
-        // slots are never erased, and deque growth does not move elements --
-        // so the callback gets a reference with no payload copy (terminal
-        // schedules can be large) and no work under the state mutex.
+        // slots are never erased, deque growth does not move elements, and
+        // in_callback_ shields this slot from gc_slots reclamation -- so the
+        // callback gets a reference with no payload copy (terminal schedules
+        // can be large) and no work under the state mutex.
+        delivered_id = next_delivery_;
         out = &slots_[next_delivery_].outcome;
+        in_callback_ = delivered_id;
         ++next_delivery_;
       }
     }
@@ -224,9 +342,13 @@ void SchedulerService::deliver_ready() {
       }
       {
         // Counted only AFTER the callback returned: drain() waits on this,
-        // so "drained" means every streamed callback has completed.
+        // so "drained" means every streamed callback has completed. The
+        // delivered slot becomes reclaimable here (if a poll()/wait()
+        // already observed it).
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.delivered;
+        in_callback_.reset();
+        maybe_reclaim_locked(delivered_id);
       }
       done_cv_.notify_all();  // drain() watches the delivery frontier
       continue;
@@ -239,14 +361,34 @@ void SchedulerService::deliver_ready() {
   }
 }
 
-std::optional<JobOutcome> SchedulerService::poll(JobTicket ticket) const {
+void SchedulerService::maybe_reclaim_locked(std::uint64_t id) {
+  if (!options_.gc_slots) return;
+  Slot& slot = slots_[id];
+  if (slot.state != JobState::kDone || slot.reclaimed || !slot.observed) return;
+  if (id >= next_delivery_) return;  // not yet delivered to the stream
+  if (in_callback_.has_value() && *in_callback_ == id) return;  // being read right now
+  slot.outcome.result.reset();
+  slot.outcome.error.clear();
+  slot.outcome.error.shrink_to_fit();
+  slot.reclaimed = true;
+  ++stats_.slots_reclaimed;
+}
+
+std::optional<SolveOutcome> SchedulerService::poll(JobTicket ticket) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
-  const Slot& slot = slots_[ticket.id];
+  Slot& slot = slots_[ticket.id];
+  if (slot.reclaimed) {
+    throw std::logic_error("SchedulerService: ticket " + std::to_string(ticket.id) +
+                           " was already observed and reclaimed (gc_slots)");
+  }
   if (slot.state != JobState::kDone) return std::nullopt;
-  return slot.outcome;
+  std::optional<SolveOutcome> out = slot.outcome;
+  slot.observed = true;
+  maybe_reclaim_locked(ticket.id);
+  return out;
 }
 
 JobState SchedulerService::state(JobTicket ticket) const {
@@ -257,13 +399,21 @@ JobState SchedulerService::state(JobTicket ticket) const {
   return slots_[ticket.id].state;
 }
 
-JobOutcome SchedulerService::wait(JobTicket ticket) {
+SolveOutcome SchedulerService::wait(JobTicket ticket) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
   done_cv_.wait(lock, [&] { return slots_[ticket.id].state == JobState::kDone; });
-  return slots_[ticket.id].outcome;
+  Slot& slot = slots_[ticket.id];
+  if (slot.reclaimed) {
+    throw std::logic_error("SchedulerService: ticket " + std::to_string(ticket.id) +
+                           " was already observed and reclaimed (gc_slots)");
+  }
+  SolveOutcome out = slot.outcome;
+  slot.observed = true;
+  maybe_reclaim_locked(ticket.id);
+  return out;
 }
 
 bool SchedulerService::cancel(JobTicket ticket) {
@@ -276,8 +426,8 @@ bool SchedulerService::cancel(JobTicket ticket) {
     if (slot.state != JobState::kQueued) return false;
     slot.state = JobState::kDone;
     slot.outcome.ticket = ticket.id;
-    slot.outcome.status = BatchItemStatus::kCancelled;
-    release_job_payload(slot.job);
+    slot.outcome.status = SolveStatus::kCancelled;
+    release_request_payload(slot.request);
     ++stats_.cancelled;
     // The posted closure still sits in the pool queue; run_job sees the
     // terminal state and returns without touching the slot.
@@ -302,13 +452,14 @@ void SchedulerService::shutdown() {
       if (slot.state != JobState::kQueued) continue;
       slot.state = JobState::kDone;
       slot.outcome.ticket = id;
-      slot.outcome.status = BatchItemStatus::kCancelled;
-      release_job_payload(slot.job);
+      slot.outcome.status = SolveStatus::kCancelled;
+      release_request_payload(slot.request);
       ++stats_.cancelled;
     }
   }
   done_cv_.notify_all();
-  // Running solves finish (their closures already left the queue); the
+  // Running solves finish (their closures already left the queue; in-flight
+  // leaders fill their joiners inside finish(), before the join below); the
   // closures of the jobs cancelled above are discarded unrun.
   pool_.shutdown();
   // Flush the tail of the stream: everything is terminal now.
@@ -324,8 +475,12 @@ ServiceStats SchedulerService::stats() const {
   const SolveCacheStats cache = cache_.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
-  out.cache_evictions = cache.evictions;
+  out.cache_evictions = cache.evictions();
+  out.cache_evictions_capacity = cache.evictions_capacity;
+  out.cache_evictions_bytes = cache.evictions_bytes;
+  out.cache_evictions_ttl = cache.evictions_ttl;
   out.cache_entries = cache.entries;
+  out.cache_bytes = cache.bytes;
   return out;
 }
 

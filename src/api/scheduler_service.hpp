@@ -8,21 +8,25 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "api/request.hpp"
 #include "api/solve_cache.hpp"
 #include "exec/batch_runner.hpp"
 #include "exec/worker_pool.hpp"
+#include "support/stopwatch.hpp"
 
 /// The service-grade front door of the library: a long-lived scheduler that
-/// accepts jobs continuously, solves them on a persistent worker pool,
-/// streams results back in deterministic order, and memoizes repeated work.
+/// accepts SolveRequests continuously, solves them on a persistent worker
+/// pool, streams results back in deterministic order, memoizes repeated
+/// work, and coalesces concurrent duplicates onto one solve.
 ///
 /// Where solve() is one call and solve_batch() is one closed batch,
 /// SchedulerService is the shape a production deployment actually has: a
-/// daemon that receives (solver, options, instance) jobs over time and must
-/// answer each as soon as possible without re-deriving what it already
-/// knows. Three mechanisms carry that:
+/// daemon that receives requests over time and must answer each as soon as
+/// possible without re-deriving what it already knows. Four mechanisms
+/// carry that:
 ///
 ///  * **submit/poll/wait** -- submit() enqueues and returns a JobTicket
 ///    immediately; poll() is a non-blocking status probe, wait() blocks for
@@ -31,24 +35,35 @@
 ///    exactly once, in TICKET (submission) order, regardless of which worker
 ///    finished first: delivery i+1 waits for delivery i. That makes the
 ///    stream deterministic -- the sequence of delivered results at 8 threads
-///    is byte-identical to 1 thread (and to solve_batch on the same jobs) --
-///    at the cost of head-of-line buffering, which poll()/wait() bypass.
-///  * **Content-hash solve cache** -- completed results are memoized by
-///    instance content + solver + canonical options (see SolveCache). A hit
-///    returns the memoized result without dispatching; per-job opt-out via
-///    SubmitOptions, service-wide off switch via ServiceOptions. Hit, miss,
-///    and eviction counts surface in ServiceStats.
+///    is byte-identical to 1 thread (and to solve_batch on the same
+///    requests) -- at the cost of head-of-line buffering, which
+///    poll()/wait() bypass.
+///  * **Content-addressed solve cache** -- completed results are memoized
+///    under the interned fingerprint + solver + canonical options (see
+///    SolveCache; eviction by capacity, byte budget, and TTL, each counted).
+///    A hit returns the memoized result without dispatching. Because the
+///    fingerprint was computed once at InstanceHandle::intern, the submit
+///    path never re-reads profile bits -- audited by a hash-count test.
+///  * **In-flight dedup** -- a cache-consulting request that misses while an
+///    IDENTICAL request (same fingerprint, solver, canonical options) is
+///    already being solved does not dispatch a second solve: it registers as
+///    a joiner and, when the leader finishes, observes the SAME outcome
+///    (bytes included; `dedup_join` set, the leader's worker id stamped).
+///    Joining is non-blocking -- the joiner's worker moves on immediately --
+///    so dedup never idles a thread. `dedup_joins` counts registrations.
+///    Per-request opt-out rides SolveRequest::use_cache (a request that must
+///    measure a real solve must not adopt someone else's).
 ///
 /// Cache-miss solves additionally reuse per-worker mrt scratch: each worker
 /// keeps the DualWorkspace of the last instance it solved and hands it to
 /// the registry through SolveContext, so a burst of same-instance jobs
-/// (different options -- identical options would have hit the cache) builds
-/// the breakpoint index once per worker instead of once per job.
+/// (different options -- identical options would have hit the cache or
+/// joined in flight) builds the breakpoint index once per worker.
 ///
 /// Determinism contract: every result field is byte-identical to the
 /// synchronous `solve()` path, with two audited exceptions -- wall times
-/// (inherently run-dependent; a cache hit's memoized result carries the
-/// original solve's wall time), and the mrt `workspace.*` audit counters,
+/// (inherently run-dependent; cache hits and dedup joins carry the original
+/// solve's result wall time), and the mrt `workspace.*` audit counters,
 /// which report per-solve deltas and so legitimately shrink when a worker
 /// reuses its workspace (that saving is what they measure).
 ///
@@ -60,16 +75,19 @@
 /// it, and shutdown() would join the very worker running the callback.
 ///
 /// Lifecycle: drain() finishes everything submitted; shutdown() stops
-/// intake, cancels every job not yet started, finishes the ones running, and
-/// joins the workers (the destructor calls it). Outcomes stay poll()-able
-/// after shutdown until the service is destroyed.
+/// intake, cancels every job not yet started, finishes the ones running
+/// (leaders fill their joiners before the pool joins), and joins the
+/// workers (the destructor calls it). Outcomes stay poll()-able after
+/// shutdown until the service is destroyed.
 ///
-/// Retention: job INPUTS (instance, options) are released the moment a job
-/// turns terminal, but every OUTCOME -- schedule included -- is retained for
-/// the service lifetime so any ticket stays poll()-able. Memory therefore
-/// grows with jobs served: bound a truly unbounded daemon by recreating the
-/// service between runs (outcome garbage collection is a named follow-up in
-/// the ROADMAP).
+/// Retention: request INPUTS (handle, options) are released the moment a
+/// job turns terminal. OUTCOMES are retained for the service lifetime by
+/// default; with `gc_slots` on, a slot whose outcome has been BOTH
+/// delivered to the stream AND observed through poll()/wait() is reclaimed
+/// (payload freed, `slots_reclaimed` counted) -- the knob that keeps a
+/// truly unbounded daemon from growing without bound. Re-reading a
+/// reclaimed ticket throws std::logic_error: with gc on, an outcome is a
+/// take-once value.
 namespace malsched {
 
 struct ServiceOptions {
@@ -78,6 +96,14 @@ struct ServiceOptions {
   /// Master switch for the solve cache; `cache_capacity` entries when on.
   bool cache{true};
   std::size_t cache_capacity{1024};
+  /// Approximate cache byte budget; 0 = unlimited (see SolveCacheConfig).
+  std::size_t cache_max_bytes{0};
+  /// Cache entry time-to-live in seconds; 0 = never expires.
+  double cache_ttl_seconds{0.0};
+  /// Coalesce concurrent identical cache-consulting misses onto one solve.
+  bool dedup{true};
+  /// Reclaim outcome payloads once delivered AND observed (see Retention).
+  bool gc_slots{false};
   /// Reuse per-worker DualWorkspaces across same-instance cache misses.
   bool reuse_workspaces{true};
   /// Registry to dispatch through; nullptr = the global one. Must outlive
@@ -94,47 +120,44 @@ struct JobTicket {
 
 enum class JobState {
   kQueued,     ///< accepted, not yet picked up by a worker
-  kRunning,    ///< a worker is solving it
+  kRunning,    ///< a worker is solving it (or it joined an in-flight solve)
   kDone,       ///< terminal: ok / error / cancelled (see the outcome)
 };
 
-/// Terminal outcome of one job -- the streaming payload and the wait()
-/// return value. Reuses BatchItemStatus so service outcomes and batch items
-/// compare directly.
-struct JobOutcome {
-  std::uint64_t ticket{0};
-  BatchItemStatus status{BatchItemStatus::kCancelled};
-  std::optional<SolverResult> result;  ///< engaged iff status == kOk
-  std::string error;                   ///< non-empty iff status == kError
-  bool cache_hit{false};               ///< result served from the solve cache
-  /// Worker-observed seconds from dequeue to completion (steady clock);
-  /// near-zero for cache hits -- the serving-path latency, as opposed to
-  /// result->wall_seconds, which is the original solve's cost.
-  double wall_seconds{0.0};
-};
+/// Pre-v2 name for the streaming payload; SolveOutcome (api/request.hpp) is
+/// the one type batch items, bench cases, and service outcomes share.
+using JobOutcome = SolveOutcome;
 
 struct ServiceStats {
   std::uint64_t submitted{0};
-  std::uint64_t completed{0};  ///< solved ok (cache hits included)
+  std::uint64_t completed{0};  ///< solved ok (cache hits and joins included)
   std::uint64_t failed{0};
   std::uint64_t cancelled{0};
   std::uint64_t delivered{0};  ///< outcomes handed to the stream so far
+  std::uint64_t dedup_joins{0};  ///< requests coalesced onto an in-flight solve
+  std::uint64_t slots_reclaimed{0};  ///< outcome payloads freed by gc_slots
   std::uint64_t cache_hits{0};
   std::uint64_t cache_misses{0};
-  std::uint64_t cache_evictions{0};
+  std::uint64_t cache_evictions{0};  ///< all causes (split below)
+  std::uint64_t cache_evictions_capacity{0};
+  std::uint64_t cache_evictions_bytes{0};
+  std::uint64_t cache_evictions_ttl{0};
   std::size_t cache_entries{0};
+  std::size_t cache_bytes{0};  ///< approximate resident footprint
   std::uint64_t workspace_reuses{0};  ///< solves that borrowed a warm workspace
 };
 
+/// Pre-v2 per-submit flags; SolveRequest::use_cache carries this now.
 struct SubmitOptions {
-  /// Consult/populate the solve cache for this job (no-op when the service
-  /// cache is off). Off for jobs that must measure a real solve.
+  /// Consult/populate the solve cache and join in-flight duplicates (no-op
+  /// when the service cache is off). Off for jobs that must measure a real
+  /// solve.
   bool cache{true};
 };
 
 class SchedulerService {
  public:
-  using ResultCallback = std::function<void(const JobOutcome&)>;
+  using ResultCallback = std::function<void(const SolveOutcome&)>;
 
   explicit SchedulerService(ServiceOptions options = {});
   ~SchedulerService();  // shutdown()
@@ -147,27 +170,37 @@ class SchedulerService {
   /// mid-run would silently miss already-delivered outcomes.
   void on_result(ResultCallback callback);
 
-  /// Enqueues one job; returns immediately. Throws std::runtime_error after
-  /// shutdown().
-  JobTicket submit(BatchJob job, SubmitOptions options = {});
+  /// Enqueues one request; returns immediately. Throws std::runtime_error
+  /// after shutdown() and std::invalid_argument on an empty handle.
+  JobTicket submit(SolveRequest request);
 
-  /// Enqueues many jobs atomically (their tickets are consecutive).
+  /// Enqueues many requests atomically (their tickets are consecutive).
+  std::vector<JobTicket> submit(std::vector<SolveRequest> requests);
+
+  /// Pre-v2 shims: intern the job's instance (one fingerprint per call --
+  /// per distinct instance for the vector form), map SubmitOptions::cache to
+  /// SolveRequest::use_cache, and forward.
+  JobTicket submit(BatchJob job, SubmitOptions options = {});
   std::vector<JobTicket> submit(std::vector<BatchJob> jobs, SubmitOptions options = {});
 
   /// Non-blocking: the outcome if the job reached a terminal state, nullopt
   /// while queued/running. Throws std::out_of_range on a ticket this service
-  /// never issued.
-  [[nodiscard]] std::optional<JobOutcome> poll(JobTicket ticket) const;
+  /// never issued, and std::logic_error on one already reclaimed by
+  /// gc_slots. Observing the outcome here makes the slot reclaimable (the
+  /// reason this is not const).
+  [[nodiscard]] std::optional<SolveOutcome> poll(JobTicket ticket);
 
   [[nodiscard]] JobState state(JobTicket ticket) const;
 
   /// Blocks until the job reaches a terminal state; returns its outcome.
-  [[nodiscard]] JobOutcome wait(JobTicket ticket);
+  /// Same reclamation semantics as poll().
+  [[nodiscard]] SolveOutcome wait(JobTicket ticket);
 
   /// Requests cancellation. Jobs still queued are cancelled immediately
   /// (their outcome is kCancelled and enters the stream in ticket order);
-  /// returns false for jobs already running or terminal -- solves are not
-  /// interrupted mid-flight, matching BatchRunner's cancellation model.
+  /// returns false for jobs already running (a dedup joiner counts as
+  /// running -- its leader is), or terminal -- solves are not interrupted
+  /// mid-flight, matching BatchRunner's cancellation model.
   bool cancel(JobTicket ticket);
 
   /// Blocks until every job submitted BEFORE the call is delivered to the
@@ -185,16 +218,31 @@ class SchedulerService {
 
  private:
   struct Slot {
-    BatchJob job;  ///< payload released at the terminal transition
-    SubmitOptions submit_options;
+    SolveRequest request;  ///< payload released at the terminal transition
     JobState state{JobState::kQueued};
-    JobOutcome outcome;
+    SolveOutcome outcome;
+    bool observed{false};   ///< a poll()/wait() returned this outcome
+    bool reclaimed{false};  ///< gc_slots freed the outcome payload
   };
 
-  JobTicket enqueue_locked(BatchJob job, SubmitOptions options);  // mutex_ held
+  /// One coalescing point: the leader's key plus everyone who joined it.
+  struct Inflight {
+    struct Joiner {
+      std::uint64_t id{0};
+      Stopwatch since;  ///< serving wall anchor: join -> leader completion
+    };
+    SolveCache::Key key;
+    std::uint64_t leader{0};
+    std::vector<Joiner> joiners;
+  };
+
+  JobTicket enqueue_locked(SolveRequest request);  // mutex_ held
   void run_job(std::uint64_t id);
-  void finish(std::uint64_t id, JobOutcome outcome, bool reused_workspace);
+  void finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
+              const SolveCache::Key* inflight_key);
   void deliver_ready();
+  Inflight* find_inflight_locked(const SolveCache::Key& key);
+  void maybe_reclaim_locked(std::uint64_t id);
 
   ServiceOptions options_;
   const SolverRegistry* registry_;
@@ -207,12 +255,20 @@ class SchedulerService {
   bool accepting_{true};
   ServiceStats stats_;
 
+  /// Leaders currently solving, by key fingerprint (vector per bucket for
+  /// collision safety). Guarded by mutex_; entries live from the leader's
+  /// miss to its finish().
+  std::unordered_map<std::uint64_t, std::vector<Inflight>> inflight_;
+
   /// Single-deliverer protocol (see deliver_ready()): `delivering_` elects
   /// one thread to invoke callbacks in ticket order; `delivery_requested_`
   /// makes it rescan before retiring, so concurrent (or re-entrant, from
-  /// inside the callback) completions are never stranded.
+  /// inside the callback) completions are never stranded. `in_callback_`
+  /// names the slot whose outcome the callback is reading right now, so
+  /// gc_slots cannot free it mid-read.
   bool delivering_{false};
   bool delivery_requested_{false};
+  std::optional<std::uint64_t> in_callback_;
   ResultCallback callback_;
 
   WorkerPool pool_;  ///< last member: destroyed (joined) before the state above

@@ -4,21 +4,31 @@
 
 #include "exec/batch_runner.hpp"
 
-/// Batch entry point of the api facade: many (solver, options, instance)
-/// jobs, one deterministic parallel run through the global SolverRegistry.
+/// Batch entry point of the api facade: many SolveRequests, one
+/// deterministic parallel run through the global SolverRegistry.
 ///
 /// This is to BatchRunner what malsched::solve() is to
 /// SolverRegistry::solve() -- the one-liner front ends reach for. Results
-/// come back in job order with per-job error isolation; see
+/// come back in request order with per-job error isolation; see
 /// exec/batch_runner.hpp for the full guarantees. For continuous traffic
-/// (submit over time, streaming delivery, result caching) use the
-/// long-lived front door instead: api/scheduler_service.hpp.
+/// (submit over time, streaming delivery, result caching, in-flight dedup)
+/// use the long-lived front door instead: api/scheduler_service.hpp.
+///
+/// The BatchJob overloads are pre-v2 shims: they intern (fingerprint) each
+/// distinct instance before running. Intern once with InstanceHandle and
+/// pass SolveRequests to stay on the zero-re-hash path.
 namespace malsched {
 
-[[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,
+[[nodiscard]] BatchReport solve_batch(const std::vector<SolveRequest>& requests,
                                       const BatchRunnerOptions& options = {});
 
 /// As above with caller-owned cancellation.
+[[nodiscard]] BatchReport solve_batch(const std::vector<SolveRequest>& requests,
+                                      const BatchRunnerOptions& options, CancelToken cancel);
+
+/// Pre-v2 shims (interning; see the header comment).
+[[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,
+                                      const BatchRunnerOptions& options = {});
 [[nodiscard]] BatchReport solve_batch(const std::vector<BatchJob>& jobs,
                                       const BatchRunnerOptions& options, CancelToken cancel);
 

@@ -1,104 +1,115 @@
 #include "api/solve_cache.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "support/fnv.hpp"
 
 namespace malsched {
 
 namespace {
 
-/// FNV-1a, the usual 64-bit offset/prime pair.
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+using fnv::mix_bytes;
+using fnv::mix_u64;
 
-void mix_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= kFnvPrime;
-  }
-}
-
-void mix_u64(std::uint64_t& hash, std::uint64_t value) { mix_bytes(hash, &value, sizeof value); }
-
-/// Canonical content fingerprint of one job. Field order is fixed; every
-/// double contributes its BIT pattern (std::bit_cast -- the cache promises
-/// byte-identical results, so 0.0 and -0.0 must not alias), and strings
-/// contribute length + bytes so "ab"+"c" cannot alias "a"+"bc".
-std::uint64_t fingerprint(const std::string& solver, const std::string& options,
-                          const Instance& instance) {
-  std::uint64_t hash = kFnvOffset;
+/// FNV-1a over the key's CHEAP parts: the instance fingerprint (already
+/// computed at intern) and the two identity strings. Profile bits are never
+/// touched here -- that is the whole point of the interned handle.
+std::uint64_t key_fingerprint(const std::string& solver, const std::string& options,
+                              const InstanceHandle& instance) {
+  std::uint64_t hash = fnv::kOffset;
   mix_u64(hash, solver.size());
   mix_bytes(hash, solver.data(), solver.size());
   mix_u64(hash, options.size());
   mix_bytes(hash, options.data(), options.size());
-  mix_u64(hash, static_cast<std::uint64_t>(instance.machines()));
-  mix_u64(hash, static_cast<std::uint64_t>(instance.size()));
-  for (const auto& task : instance.tasks()) {
-    const auto& profile = task.profile();
-    mix_u64(hash, profile.size());
-    for (const double time : profile) {
-      mix_u64(hash, std::bit_cast<std::uint64_t>(time));
-    }
-    mix_u64(hash, task.name().size());
-    mix_bytes(hash, task.name().data(), task.name().size());
-  }
+  mix_u64(hash, instance.fingerprint());
   return hash;
 }
 
-/// Exact content equality (profiles compared bit for bit, names included):
-/// the deep half of key comparison behind a fingerprint match.
-bool same_instance_content(const Instance& a, const Instance& b) {
-  if (a.machines() != b.machines() || a.size() != b.size()) return false;
-  for (int i = 0; i < a.size(); ++i) {
-    const auto& ta = a.task(i);
-    const auto& tb = b.task(i);
-    if (ta.name() != tb.name()) return false;
-    const auto& pa = ta.profile();
-    const auto& pb = tb.profile();
-    if (pa.size() != pb.size()) return false;
-    for (std::size_t p = 0; p < pa.size(); ++p) {
-      if (std::bit_cast<std::uint64_t>(pa[p]) != std::bit_cast<std::uint64_t>(pb[p])) {
-        return false;
-      }
-    }
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Approximate footprint of one memoized entry, for the byte budget. An
+/// estimate, not an accounting: heap headers and map nodes are ignored, the
+/// dominant payloads (schedule assignments, scattered lists, stat keys,
+/// identity strings) are counted.
+std::size_t approx_entry_bytes(const SolveCache::Key& key, const SolverResult& result) {
+  std::size_t bytes = sizeof(SolveCache::Key) + sizeof(SolverResult);
+  bytes += key.solver.size() + key.options.size();
+  bytes += result.solver.size();
+  bytes += result.schedule.assignments().size() * sizeof(Assignment);
+  for (const auto& assignment : result.schedule.assignments()) {
+    bytes += assignment.scattered.size() * sizeof(int);
   }
-  return true;
+  for (const auto& [name, value] : result.stats) {
+    static_cast<void>(value);
+    bytes += sizeof(std::pair<std::string, double>) + name.size();
+  }
+  return bytes;
 }
 
 }  // namespace
 
-SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+SolveCache::SolveCache(SolveCacheConfig config) : config_(std::move(config)) {}
+
+SolveCache::SolveCache(std::size_t capacity) : SolveCache(SolveCacheConfig{capacity, 0, 0.0, {}}) {}
 
 SolveCache::Key SolveCache::make_key(const std::string& solver, const SolverOptions& options,
-                                     std::shared_ptr<const Instance> instance) {
-  if (!instance) throw std::invalid_argument("SolveCache: null instance");
+                                     InstanceHandle instance) {
+  if (!instance.valid()) throw std::invalid_argument("SolveCache: empty instance handle");
   Key key;
   key.solver = solver;
   key.options = options.str();
-  key.fingerprint = fingerprint(key.solver, key.options, *instance);
+  key.fingerprint = key_fingerprint(key.solver, key.options, instance);
   key.instance = std::move(instance);
   return key;
+}
+
+SolveCache::Key SolveCache::make_key(const std::string& solver, const SolverOptions& options,
+                                     std::shared_ptr<const Instance> instance) {
+  return make_key(solver, options, InstanceHandle::intern(std::move(instance)));
 }
 
 bool SolveCache::same_key(const Key& a, const Key& b) {
   if (a.fingerprint != b.fingerprint || a.solver != b.solver || a.options != b.options) {
     return false;
   }
-  // Shared-instance fast path; distinct objects fall through to content.
-  if (a.instance.get() == b.instance.get()) return true;
-  return same_instance_content(*a.instance, *b.instance);
+  // Handle equality: shared-intern fast path (pointer), deep content compare
+  // only for separately interned twins behind a fingerprint match.
+  return a.instance == b.instance;
+}
+
+double SolveCache::now() const { return config_.clock ? config_.clock() : steady_seconds(); }
+
+bool SolveCache::expired(const Entry& entry, double at) const noexcept {
+  return config_.ttl_seconds > 0.0 && at - entry.inserted_at > config_.ttl_seconds;
+}
+
+void SolveCache::erase_locked(EntryList::iterator it) {
+  auto& candidates = index_[it->key.fingerprint];
+  candidates.erase(std::find(candidates.begin(), candidates.end(), it));
+  if (candidates.empty()) index_.erase(it->key.fingerprint);
+  bytes_ -= it->bytes;
+  entries_.erase(it);
 }
 
 std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
-  if (capacity_ == 0) return nullptr;
+  if (config_.capacity == 0) return nullptr;
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto bucket = index_.find(key.fingerprint);
   if (bucket != index_.end()) {
     for (const auto& it : bucket->second) {
       if (same_key(it->key, key)) {
+        if (expired(*it, now())) {
+          erase_locked(it);
+          ++stats_.evictions_ttl;
+          break;  // at most one live entry per key; fall through to miss
+        }
         entries_.splice(entries_.begin(), entries_, it);  // refresh LRU
         ++stats_.hits;
         return it->result;  // shared_ptr copy only; payload copies happen
@@ -111,48 +122,70 @@ std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
 }
 
 void SolveCache::insert(const Key& key, const SolverResult& result) {
-  if (capacity_ == 0) return;
+  if (config_.capacity == 0) return;
   // The expensive part (copying a full SolverResult, Schedule included)
   // stays outside the critical section.
   auto memoized = std::make_shared<const SolverResult>(result);
+  const std::size_t entry_bytes = approx_entry_bytes(key, result);
   const std::lock_guard<std::mutex> lock(mutex_);
+  const double at = now();
 
-  // Idempotent re-insert (two workers may race the same miss): refresh, keep
-  // the first memoized copy -- both came from the same deterministic solve.
+  // Idempotent re-insert (two workers may race the same miss): refresh a
+  // live entry and keep the first memoized copy -- both came from the same
+  // deterministic solve. An expired one is replaced outright.
   auto bucket = index_.find(key.fingerprint);
   if (bucket != index_.end()) {
     for (const auto& it : bucket->second) {
       if (same_key(it->key, key)) {
-        entries_.splice(entries_.begin(), entries_, it);
-        return;
+        if (!expired(*it, at)) {
+          entries_.splice(entries_.begin(), entries_, it);
+          return;
+        }
+        erase_locked(it);
+        ++stats_.evictions_ttl;
+        break;
       }
     }
   }
 
-  if (entries_.size() >= capacity_) {
-    const auto victim = std::prev(entries_.end());
-    auto& candidates = index_[victim->key.fingerprint];
-    candidates.erase(std::find(candidates.begin(), candidates.end(), victim));
-    if (candidates.empty()) index_.erase(victim->key.fingerprint);
-    entries_.erase(victim);
-    ++stats_.evictions;
-  }
-
-  entries_.push_front(Entry{key, std::move(memoized)});
+  entries_.push_front(Entry{key, std::move(memoized), at, entry_bytes});
   index_[key.fingerprint].push_back(entries_.begin());
+  bytes_ += entry_bytes;
   ++stats_.insertions;
+
+  // Trim from the LRU tail until both budgets hold: age first (an expired
+  // tail entry should be charged to TTL, not capacity), then the entry
+  // budget, then the byte budget. The just-inserted entry itself is never
+  // evicted for the byte budget alone (see SolveCacheConfig::max_bytes).
+  while (entries_.size() > 1) {
+    const auto victim = std::prev(entries_.end());
+    if (expired(*victim, at)) {
+      erase_locked(victim);
+      ++stats_.evictions_ttl;
+    } else if (entries_.size() > config_.capacity) {
+      erase_locked(victim);
+      ++stats_.evictions_capacity;
+    } else if (config_.max_bytes > 0 && bytes_ > config_.max_bytes) {
+      erase_locked(victim);
+      ++stats_.evictions_bytes;
+    } else {
+      break;
+    }
+  }
 }
 
 void SolveCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   index_.clear();
+  bytes_ = 0;
 }
 
 SolveCacheStats SolveCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   SolveCacheStats out = stats_;
   out.entries = entries_.size();
+  out.bytes = bytes_;
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -10,25 +11,31 @@
 
 #include "api/solver_options.hpp"
 #include "api/solver_result.hpp"
-#include "model/instance.hpp"
+#include "model/instance_handle.hpp"
 
 /// Content-addressed memoization of registry solves.
 ///
 /// Production queues see near-duplicate work: the same snapshot re-evaluated
 /// under the same solver and options solves to the same (deterministic)
 /// result, so the second dispatch is pure waste. SolveCache keys a completed
-/// SolverResult by the CONTENT of the job -- a canonical fingerprint of the
-/// instance (machines, every task profile bit pattern, task names) plus the
-/// solver name and the canonical option string -- so hits do not depend on
-/// callers sharing Instance objects; two separately-generated but identical
-/// instances hit the same entry (the shared_ptr fast path just skips the
-/// deep compare).
+/// SolverResult by the CONTENT of the job: the interned instance's
+/// fingerprint (computed ONCE, at InstanceHandle::intern -- building a key
+/// never touches profile bits again) mixed with the solver name and the
+/// canonical option string. Hits do not depend on callers sharing handles;
+/// two separately interned but identical instances carry the same
+/// fingerprint and hit the same entry.
 ///
-/// Eviction is LRU over a fixed entry capacity; every lookup/insert/eviction
-/// is counted (SolveCacheStats) so the service can surface hit rates.
+/// Eviction (API v2) has three causes, each counted separately:
+///   * capacity -- LRU past the fixed entry budget,
+///   * bytes    -- LRU past `max_bytes` (footprint is an estimate: entry
+///     struct + key strings + schedule assignments + stat keys),
+///   * ttl      -- entries older than `ttl_seconds`, expired lazily on the
+///     lookup/insert that finds them stale.
+///
 /// Collisions are handled, not assumed away: entries whose 64-bit
-/// fingerprints collide are disambiguated by a full key comparison
-/// (solver, options, then instance content).
+/// fingerprints collide are disambiguated by a full key comparison (solver,
+/// options, then instance identity -- handle pointer equality first, deep
+/// content compare only for separately interned twins).
 ///
 /// Thread safety: fully synchronized internally (one mutex; the critical
 /// sections are lookups and list splices, never solves), so any number of
@@ -36,62 +43,103 @@
 /// VALUE -- results are immutable once inserted.
 namespace malsched {
 
+struct SolveCacheConfig {
+  /// Max memoized results; 0 disables the cache entirely (lookups miss
+  /// without counting, inserts drop).
+  std::size_t capacity{1024};
+  /// Approximate byte budget over all entries; 0 = unlimited. A single
+  /// over-budget entry is kept (evicting it for its own insert would make
+  /// the cache thrash on every oversized result).
+  std::size_t max_bytes{0};
+  /// Entries older than this are expired on access; 0 = never.
+  double ttl_seconds{0.0};
+  /// Monotone seconds source for TTL decisions; defaults to the steady
+  /// clock. A test hook -- production code leaves it empty.
+  std::function<double()> clock{};
+};
+
 struct SolveCacheStats {
   std::uint64_t hits{0};
-  std::uint64_t misses{0};       ///< lookups that found nothing
+  std::uint64_t misses{0};       ///< lookups that found nothing (or expired)
   std::uint64_t insertions{0};
-  std::uint64_t evictions{0};    ///< entries pushed out by capacity
-  std::size_t entries{0};        ///< current size
+  std::uint64_t evictions_capacity{0};  ///< pushed out by the entry budget
+  std::uint64_t evictions_bytes{0};     ///< pushed out by the byte budget
+  std::uint64_t evictions_ttl{0};       ///< expired by age
+  std::size_t entries{0};  ///< current size
+  std::size_t bytes{0};    ///< current approximate footprint
+
+  /// All causes combined.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_capacity + evictions_bytes + evictions_ttl;
+  }
 };
 
 class SolveCache {
  public:
   /// The precomputed identity of one (solver, options, instance) job.
-  /// Building a key hashes the instance once; reuse it for lookup + insert.
+  /// Building a key mixes the handle's precomputed fingerprint with the two
+  /// strings -- profile bits are never re-read; reuse it for lookup+insert.
   struct Key {
-    std::uint64_t fingerprint{0};
+    std::uint64_t fingerprint{0};  ///< instance fingerprint + solver + options
     std::string solver;
     std::string options;  ///< SolverOptions::str() -- canonical by key order
-    std::shared_ptr<const Instance> instance;  ///< never null
+    InstanceHandle instance;  ///< always valid()
   };
 
-  /// `capacity` = max memoized results; 0 disables the cache entirely
-  /// (lookups miss without counting, inserts drop).
+  explicit SolveCache(SolveCacheConfig config);
+
+  /// Pre-v2 convenience: entry budget only (no byte budget, no TTL).
   explicit SolveCache(std::size_t capacity);
 
+  [[nodiscard]] static Key make_key(const std::string& solver, const SolverOptions& options,
+                                    InstanceHandle instance);
+
+  /// Pre-v2 shim: interns the instance NOW (one content fingerprint per
+  /// call). Prefer interning once and passing the handle.
   [[nodiscard]] static Key make_key(const std::string& solver, const SolverOptions& options,
                                     std::shared_ptr<const Instance> instance);
 
   /// The memoized result for `key` (nullptr on miss), refreshing its LRU
-  /// position; counts a hit or a miss. Returned as a shared_ptr so callers
-  /// copy (or just read) OUTSIDE the cache lock -- results are immutable
-  /// once inserted, and full SolverResult copies carry whole Schedules.
+  /// position; counts a hit or a miss. An entry past its TTL is evicted here
+  /// and reported as a miss. Returned as a shared_ptr so callers copy (or
+  /// just read) OUTSIDE the cache lock -- results are immutable once
+  /// inserted, and full SolverResult copies carry whole Schedules.
   [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key);
 
-  /// Memoizes `result` under `key` (idempotent: re-inserting an existing key
-  /// refreshes LRU without duplicating), evicting the least-recently-used
-  /// entry when full. The copy into the cache happens before the lock.
+  /// Memoizes `result` under `key` (idempotent: re-inserting a live key
+  /// refreshes LRU without duplicating; re-inserting an expired one replaces
+  /// it), then evicts from the LRU tail until both budgets hold. The copy
+  /// into the cache happens before the lock.
   void insert(const Key& key, const SolverResult& result);
 
   void clear();
 
-  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  [[nodiscard]] bool enabled() const noexcept { return config_.capacity > 0; }
   [[nodiscard]] SolveCacheStats stats() const;
+
+  /// Same job? Full comparison behind the fingerprint (collision safety).
+  /// Public so other key-indexed structures (the service's in-flight dedup
+  /// map) share ONE definition of "identical request".
+  [[nodiscard]] static bool same_key(const Key& a, const Key& b);
 
  private:
   struct Entry {
     Key key;
     std::shared_ptr<const SolverResult> result;  ///< immutable once inserted
+    double inserted_at{0.0};  ///< clock seconds at insertion (TTL anchor)
+    std::size_t bytes{0};     ///< approximate footprint charged to the budget
   };
   using EntryList = std::list<Entry>;
 
-  /// Same job? Full comparison behind the fingerprint (collision safety).
-  [[nodiscard]] static bool same_key(const Key& a, const Key& b);
+  [[nodiscard]] double now() const;
+  [[nodiscard]] bool expired(const Entry& entry, double at) const noexcept;
+  void erase_locked(EntryList::iterator it);  // mutex_ held
 
-  std::size_t capacity_;
+  SolveCacheConfig config_;
   mutable std::mutex mutex_;
   EntryList entries_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
+  std::size_t bytes_{0};  ///< sum of Entry::bytes
   SolveCacheStats stats_;
 };
 

@@ -307,6 +307,19 @@ const SolverRegistry::Entry& SolverRegistry::entry(const std::string& name) cons
   return it->second;
 }
 
+SolverResult SolverRegistry::solve(const SolveRequest& request) const {
+  return solve(request, SolveContext{});
+}
+
+SolverResult SolverRegistry::solve(const SolveRequest& request,
+                                   const SolveContext& context) const {
+  if (!request.instance.valid()) {
+    throw std::invalid_argument("SolverRegistry: solve() on an empty InstanceHandle");
+  }
+  return solve_impl(entry(request.solver), request.instance.instance(), request.options,
+                    context, request.instance.static_lower_bound());
+}
+
 SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
                                    const SolverOptions& options) const {
   return solve(name, instance, options, SolveContext{});
@@ -315,7 +328,12 @@ SolverResult SolverRegistry::solve(const std::string& name, const Instance& inst
 SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
                                    const SolverOptions& options,
                                    const SolveContext& context) const {
-  const Entry& solver = entry(name);
+  return solve_impl(entry(name), instance, options, context, makespan_lower_bound(instance));
+}
+
+SolverResult SolverRegistry::solve_impl(const Entry& solver, const Instance& instance,
+                                        const SolverOptions& options,
+                                        const SolveContext& context, double static_lb) const {
   const Stopwatch stopwatch;
 
   // Free-form solvers (empty declared table) skip schema validation -- the
@@ -332,8 +350,10 @@ SolverResult SolverRegistry::solve(const std::string& name, const Instance& inst
   }
 
   // Every solver-specific bound is certified; the area/critical-path bound
-  // always is, so the facade reports the tighter of the two.
-  result.lower_bound = std::max(result.lower_bound, makespan_lower_bound(instance));
+  // always is, so the facade reports the tighter of the two. `static_lb` is
+  // that bound -- precomputed at intern() on the SolveRequest path, derived
+  // per call on the legacy one.
+  result.lower_bound = std::max(result.lower_bound, static_lb);
   result.makespan = result.schedule.makespan();
   result.ratio = result.lower_bound > 0.0 ? result.makespan / result.lower_bound : 1.0;
 

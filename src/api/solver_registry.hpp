@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/option_spec.hpp"
+#include "api/request.hpp"
 #include "api/solver_options.hpp"
 #include "api/solver_result.hpp"
 #include "model/instance.hpp"
@@ -143,10 +144,24 @@ class SolverRegistry {
   /// Whether the named solver consults SolveContext::workspace_provider.
   [[nodiscard]] bool reuses_workspace(const std::string& name) const;
 
-  /// Dispatches to the named solver. Throws std::invalid_argument for an
-  /// unknown name (the message lists the registered ones) or an option bag
-  /// that fails the solver's declared schema, and std::runtime_error if a
-  /// solver ever emits a schedule that fails validation.
+  /// API v2 entry point: dispatches `request.solver` on the interned
+  /// instance, reusing the handle's precomputed static lower bound instead
+  /// of re-deriving it (bit-identical -- same function, same frozen
+  /// instance). Throws std::invalid_argument on an empty handle, an unknown
+  /// name, or an option bag that fails the declared schema, and
+  /// std::runtime_error if a solver ever emits a schedule that fails
+  /// validation. `request.use_cache` is a serving-layer flag and ignored
+  /// here (the registry memoizes nothing).
+  [[nodiscard]] SolverResult solve(const SolveRequest& request) const;
+
+  /// As above with caller-provided per-call context (workspace reuse).
+  [[nodiscard]] SolverResult solve(const SolveRequest& request,
+                                   const SolveContext& context) const;
+
+  /// Pre-v2 entry point, kept as a thin shim: dispatches directly on a raw
+  /// instance, deriving the static lower bound per call. Prefer the
+  /// SolveRequest overloads -- an interned handle derives it once and is
+  /// what every serving layer (cache, dedup, batch) keys on.
   [[nodiscard]] SolverResult solve(const std::string& name, const Instance& instance,
                                    const SolverOptions& options = {}) const;
 
@@ -157,6 +172,9 @@ class SolverRegistry {
 
  private:
   [[nodiscard]] const Entry& entry(const std::string& name) const;
+  [[nodiscard]] SolverResult solve_impl(const Entry& solver, const Instance& instance,
+                                        const SolverOptions& options,
+                                        const SolveContext& context, double static_lb) const;
 
   std::map<std::string, Entry> entries_;
 };

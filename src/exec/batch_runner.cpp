@@ -3,6 +3,7 @@
 #include <exception>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "support/parallel_for.hpp"
 #include "support/stopwatch.hpp"
@@ -17,13 +18,23 @@ BatchJob::BatchJob(std::string solver_name, SolverOptions solver_options,
   if (!instance) throw std::invalid_argument("BatchJob: null instance");
 }
 
-std::string to_string(BatchItemStatus status) {
-  switch (status) {
-    case BatchItemStatus::kOk: return "ok";
-    case BatchItemStatus::kError: return "error";
-    case BatchItemStatus::kCancelled: return "cancelled";
+SolveRequest BatchJob::to_request() const {
+  return SolveRequest{solver, options, InstanceHandle::intern(instance)};
+}
+
+std::vector<SolveRequest> intern_jobs(const std::vector<BatchJob>& jobs) {
+  // Batches routinely sweep one shared instance under many solver configs;
+  // memoizing the handle by pointer keeps the shim at one fingerprint per
+  // distinct instance instead of one per job.
+  std::map<const Instance*, InstanceHandle> interned;
+  std::vector<SolveRequest> requests;
+  requests.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    auto [it, fresh] = interned.try_emplace(job.instance.get());
+    if (fresh) it->second = InstanceHandle::intern(job.instance);
+    requests.emplace_back(job.solver, job.options, it->second);
   }
-  return "unknown";
+  return requests;
 }
 
 std::vector<std::pair<std::string, double>> BatchReport::aggregate_stats() const {
@@ -39,21 +50,36 @@ BatchRunner::BatchRunner(const SolverRegistry& registry, BatchRunnerOptions opti
     : registry_(&registry), options_(options) {}
 
 BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) const {
-  return run(jobs, CancelToken{});
+  return run(intern_jobs(jobs), CancelToken{});
 }
 
 BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs, CancelToken cancel) const {
+  return run(intern_jobs(jobs), std::move(cancel));
+}
+
+BatchReport BatchRunner::run(const std::vector<SolveRequest>& requests) const {
+  return run(requests, CancelToken{});
+}
+
+BatchReport BatchRunner::run(const std::vector<SolveRequest>& requests,
+                             CancelToken cancel) const {
   const Stopwatch stopwatch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].instance.valid()) {
+      throw std::invalid_argument("BatchRunner: request " + std::to_string(i) +
+                                  " carries an empty InstanceHandle");
+    }
+  }
   BatchReport report;
-  report.items.resize(jobs.size());
-  if (jobs.empty()) {
+  report.items.resize(requests.size());
+  if (requests.empty()) {
     report.wall_seconds = stopwatch.seconds();
     return report;
   }
 
   // Shared with parallel_for so report.threads records the worker count the
   // pool below actually uses.
-  const unsigned workers = resolve_worker_count(jobs.size(), options_.threads);
+  const unsigned workers = resolve_worker_count(requests.size(), options_.threads);
 
   // stop_on_error fires a run-local token, never the caller's: a failing job
   // must not look like an external cancellation to whatever else shares it.
@@ -69,7 +95,7 @@ BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs, CancelToken canc
       return;
     }
     try {
-      item.result = registry_->solve(jobs[i].solver, *jobs[i].instance, jobs[i].options);
+      item.result = registry_->solve(requests[i]);
       item.status = BatchItemStatus::kOk;
     } catch (const std::exception& err) {
       item.status = BatchItemStatus::kError;
@@ -86,7 +112,7 @@ BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs, CancelToken canc
   // support/parallel_for (workers draw contiguous index blocks from a single
   // atomic, no per-worker deques). run_one catches everything itself, so
   // parallel_for's first-exception rethrow path never fires.
-  parallel_for(jobs.size(), run_one, workers);
+  parallel_for(requests.size(), run_one, workers);
 
   for (const auto& item : report.items) {
     switch (item.status) {

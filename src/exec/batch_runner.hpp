@@ -8,10 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include "api/request.hpp"
 #include "api/solver_options.hpp"
 #include "api/solver_registry.hpp"
 #include "api/solver_result.hpp"
 #include "model/instance.hpp"
+#include "model/instance_handle.hpp"
 
 /// Deterministic parallel batch execution -- the serving-scale layer over the
 /// SolverRegistry facade.
@@ -41,7 +43,13 @@
 /// it. The registry must outlive the runner.
 namespace malsched {
 
-/// One unit of batch work: which solver, how configured, on what instance.
+/// Pre-v2 unit of batch work, kept as a thin interning shim over
+/// SolveRequest (api/request.hpp): same (solver, options, instance) triple,
+/// but by raw shared_ptr instead of interned InstanceHandle, so every
+/// BatchJob-taking entry point must intern (re-fingerprint) on your behalf.
+/// Prefer building SolveRequests from handles you interned once -- that is
+/// the zero-re-hash path the cache and dedup layers key on. Retained for
+/// callers that predate API v2; new code should not add BatchJob overloads.
 ///
 /// The instance is held by shared_ptr so many jobs can sweep one instance
 /// (different solvers/options) without duplicating it; the Instance overload
@@ -56,18 +64,16 @@ struct BatchJob {
   BatchJob(std::string solver_name, SolverOptions solver_options,
            std::shared_ptr<const Instance> task_instance);
 
+  /// The v2 shape of this job; interns (fingerprints) the instance NOW.
+  [[nodiscard]] SolveRequest to_request() const;
+
   std::string solver;     ///< registry name to dispatch to
   SolverOptions options;  ///< per-job option bag
   std::shared_ptr<const Instance> instance;  ///< never null
 };
 
-enum class BatchItemStatus {
-  kOk,         ///< solved and validated
-  kError,      ///< the solve threw; `error` holds the message
-  kCancelled,  ///< skipped: cancellation (or stop_on_error) fired first
-};
-
-[[nodiscard]] std::string to_string(BatchItemStatus status);
+/// Pre-v2 alias; batch items and service outcomes share SolveStatus.
+using BatchItemStatus = SolveStatus;
 
 /// Outcome of one job, at the same index as the job that produced it.
 struct BatchItem {
@@ -131,15 +137,30 @@ class BatchRunner {
   /// A temporary registry would dangle before run(); keep it in a variable.
   explicit BatchRunner(SolverRegistry&& registry, BatchRunnerOptions options = {}) = delete;
 
-  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs) const;
+  /// API v2 entry point: fans the requests out; report.items[i] is the
+  /// outcome of requests[i]. Throws std::invalid_argument if any request
+  /// carries an empty InstanceHandle (checked up front, before dispatch).
+  [[nodiscard]] BatchReport run(const std::vector<SolveRequest>& requests) const;
 
-  /// As above with caller-owned cancellation: jobs not yet started when the
-  /// token fires are reported as kCancelled.
+  /// As above with caller-owned cancellation: requests not yet started when
+  /// the token fires are reported as kCancelled.
+  [[nodiscard]] BatchReport run(const std::vector<SolveRequest>& requests,
+                                CancelToken cancel) const;
+
+  /// Pre-v2 shims: intern each job's instance (one fingerprint per DISTINCT
+  /// shared instance -- duplicates within the batch are memoized by
+  /// pointer), then run the request path.
+  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs) const;
   [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs, CancelToken cancel) const;
 
  private:
   const SolverRegistry* registry_;
   BatchRunnerOptions options_;
 };
+
+/// The BatchJob -> SolveRequest interning shim shared by the pre-v2
+/// overloads (runner, solve_batch): one fingerprint per distinct shared
+/// instance, duplicates memoized by pointer.
+[[nodiscard]] std::vector<SolveRequest> intern_jobs(const std::vector<BatchJob>& jobs);
 
 }  // namespace malsched

@@ -5,13 +5,19 @@
 
 namespace malsched {
 
+namespace {
+/// Index of this thread within its owning pool; -1 off-pool. Written once,
+/// at worker start, before any task runs.
+thread_local int tls_worker_index = -1;
+}  // namespace
+
 WorkerPool::WorkerPool(unsigned threads) {
   unsigned count = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (count == 0) count = 1;
   thread_count_ = count;
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -56,7 +62,10 @@ std::size_t WorkerPool::queued() const {
   return queue_.size();
 }
 
-void WorkerPool::worker_loop() noexcept {
+int WorkerPool::current_worker() noexcept { return tls_worker_index; }
+
+void WorkerPool::worker_loop(unsigned index) noexcept {
+  tls_worker_index = static_cast<int>(index);
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

@@ -58,8 +58,13 @@ class WorkerPool {
   /// Queued-but-unstarted tasks (diagnostic; racy by nature).
   [[nodiscard]] std::size_t queued() const;
 
+  /// Index of the calling thread within its pool ([0, threads())), or -1
+  /// when the caller is not a pool worker. Provenance for SolveOutcome:
+  /// tasks read it to stamp which worker produced a result.
+  [[nodiscard]] static int current_worker() noexcept;
+
  private:
-  void worker_loop() noexcept;
+  void worker_loop(unsigned index) noexcept;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: "queue non-empty or stopping"

@@ -1,0 +1,94 @@
+#include "model/instance_handle.hpp"
+
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "model/lower_bounds.hpp"
+#include "support/fnv.hpp"
+
+namespace malsched {
+
+namespace {
+
+using fnv::mix_bytes;
+using fnv::mix_u64;
+
+/// One intern() == one tick; the submit-path "zero re-hash" contract is
+/// asserted against this counter in the tests.
+std::atomic<std::uint64_t> hash_count{0};
+
+/// Canonical content fingerprint. Field order is fixed; every double
+/// contributes its BIT pattern (std::bit_cast -- the serving stack promises
+/// byte-identical results, so 0.0 and -0.0 must not alias), and strings
+/// contribute length + bytes so "ab"+"c" cannot alias "a"+"bc".
+std::uint64_t content_fingerprint(const Instance& instance) {
+  hash_count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t hash = fnv::kOffset;
+  mix_u64(hash, static_cast<std::uint64_t>(instance.machines()));
+  mix_u64(hash, static_cast<std::uint64_t>(instance.size()));
+  for (const auto& task : instance.tasks()) {
+    const auto& profile = task.profile();
+    mix_u64(hash, profile.size());
+    for (const double time : profile) {
+      mix_u64(hash, std::bit_cast<std::uint64_t>(time));
+    }
+    mix_u64(hash, task.name().size());
+    mix_bytes(hash, task.name().data(), task.name().size());
+  }
+  return hash;
+}
+
+/// Exact content equality (profiles compared bit for bit, names included):
+/// the deep half of handle equality behind a fingerprint match.
+bool same_instance_content(const Instance& a, const Instance& b) {
+  if (a.machines() != b.machines() || a.size() != b.size()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    const auto& ta = a.task(i);
+    const auto& tb = b.task(i);
+    if (ta.name() != tb.name()) return false;
+    const auto& pa = ta.profile();
+    const auto& pb = tb.profile();
+    if (pa.size() != pb.size()) return false;
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      if (std::bit_cast<std::uint64_t>(pa[p]) != std::bit_cast<std::uint64_t>(pb[p])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+InstanceHandle InstanceHandle::intern(Instance instance) {
+  return intern(std::make_shared<const Instance>(std::move(instance)));
+}
+
+InstanceHandle InstanceHandle::intern(std::shared_ptr<const Instance> instance) {
+  if (!instance) throw std::invalid_argument("InstanceHandle: null instance");
+  InstanceHandle handle;
+  handle.fingerprint_ = content_fingerprint(*instance);
+  handle.static_lower_bound_ = makespan_lower_bound(*instance);
+  handle.instance_ = std::move(instance);
+  return handle;
+}
+
+const Instance& InstanceHandle::instance() const {
+  if (!instance_) throw std::logic_error("InstanceHandle: empty handle");
+  return *instance_;
+}
+
+bool operator==(const InstanceHandle& a, const InstanceHandle& b) {
+  if (a.instance_.get() == b.instance_.get()) return true;  // covers both empty
+  if (!a.instance_ || !b.instance_) return false;
+  if (a.fingerprint_ != b.fingerprint_) return false;
+  return same_instance_content(*a.instance_, *b.instance_);
+}
+
+std::uint64_t InstanceHandle::content_hashes() noexcept {
+  return hash_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace malsched

@@ -210,6 +210,46 @@ TEST(SolverRegistry, ContiguityEnforcementMatchesRegistration) {
   EXPECT_TRUE(result.schedule.complete());
 }
 
+TEST(SolverRegistry, SolveRequestPathMatchesLegacyPathByteForByte) {
+  // API v2: the interned handle carries the static lower bound, and the
+  // request-path dispatch must be indistinguishable from the legacy
+  // instance-path dispatch -- schedule, certified bound, ratio, and stats.
+  const auto instance = small_instance(17);
+  const auto handle = InstanceHandle::intern(instance);
+
+  const std::vector<std::pair<std::string, std::string>> configs{
+      {"mrt", "epsilon=0.05"},
+      {"two_phase", "rigid=ffdh"},
+      {"naive", "policy=lpt-seq"},
+      {"two_shelves_32", "epsilon=0.05"},
+  };
+  for (const auto& [name, spec] : configs) {
+    const auto options = SolverOptions::from_string(spec);
+    const auto legacy = SolverRegistry::global().solve(name, instance, options);
+    const auto v2 = SolverRegistry::global().solve(SolveRequest{name, options, handle});
+    EXPECT_EQ(v2.solver, legacy.solver);
+    EXPECT_EQ(v2.makespan, legacy.makespan);
+    EXPECT_EQ(v2.lower_bound, legacy.lower_bound);
+    EXPECT_EQ(v2.ratio, legacy.ratio);
+    EXPECT_EQ(v2.stats, legacy.stats);
+    ASSERT_EQ(v2.schedule.assignments().size(), legacy.schedule.assignments().size());
+    for (std::size_t i = 0; i < v2.schedule.assignments().size(); ++i) {
+      const auto& a = v2.schedule.assignments()[i];
+      const auto& b = legacy.schedule.assignments()[i];
+      EXPECT_EQ(a.start, b.start);
+      EXPECT_EQ(a.duration, b.duration);
+      EXPECT_EQ(a.first_proc, b.first_proc);
+      EXPECT_EQ(a.num_procs, b.num_procs);
+      EXPECT_EQ(a.scattered, b.scattered);
+    }
+  }
+}
+
+TEST(SolverRegistry, SolveRequestWithEmptyHandleThrows) {
+  EXPECT_THROW(static_cast<void>(SolverRegistry::global().solve(SolveRequest{})),
+               std::invalid_argument);
+}
+
 TEST(SolverRegistry, IncompleteScheduleFromSolverIsRejected) {
   SolverRegistry registry;
   registry.add("broken", "leaves every task unassigned",

@@ -65,7 +65,9 @@ SolverRegistry flaky_registry() {
 // --------------------------------------------------------------- BatchRunner
 
 TEST(BatchRunner, EmptyBatchIsANoop) {
-  const auto report = BatchRunner().run({});
+  // Explicit element type: `{}` would be ambiguous between the SolveRequest
+  // and the legacy BatchJob overloads.
+  const auto report = BatchRunner().run(std::vector<SolveRequest>{});
   EXPECT_TRUE(report.items.empty());
   EXPECT_TRUE(report.all_ok());
   EXPECT_EQ(report.ok + report.errors + report.cancelled, 0u);
@@ -121,6 +123,34 @@ TEST(BatchRunner, ByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(text, baseline) << "results depend on the thread count at " << threads;
     }
   }
+}
+
+TEST(BatchRunner, SolveRequestPathMatchesBatchJobShimByteForByte) {
+  // API v2: requests built from handles interned once must produce the same
+  // report as the legacy interning shim -- and do so without re-hashing any
+  // profile bits at run() time.
+  const auto jobs = mixed_jobs(12);
+  BatchJsonOptions json;
+  json.include_timing = false;
+  json.include_schedules = true;
+  const std::string reference = batch_report_json(BatchRunner().run(jobs), json);
+
+  std::vector<SolveRequest> requests;
+  for (const auto& job : jobs) {
+    requests.emplace_back(job.solver, job.options, InstanceHandle::intern(job.instance));
+  }
+  const auto hashes_before = InstanceHandle::content_hashes();
+  BatchRunnerOptions options;
+  options.threads = 4;
+  const auto report = BatchRunner(SolverRegistry::global(), options).run(requests);
+  EXPECT_EQ(InstanceHandle::content_hashes(), hashes_before)
+      << "the request path must not re-fingerprint interned instances";
+  EXPECT_EQ(batch_report_json(report, json), reference);
+}
+
+TEST(BatchRunner, RequestWithEmptyHandleIsRejectedUpFront) {
+  std::vector<SolveRequest> requests(1);  // default = empty handle
+  EXPECT_THROW(static_cast<void>(BatchRunner().run(requests)), std::invalid_argument);
 }
 
 TEST(BatchRunner, OversubscriptionStressStaysDeterministic) {

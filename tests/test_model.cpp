@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "model/instance.hpp"
+#include "model/instance_handle.hpp"
 #include "model/instance_io.hpp"
 #include "model/lower_bounds.hpp"
 #include "model/malleable_task.hpp"
@@ -291,6 +293,72 @@ TEST(LowerBounds, AreaDominatesWhenLoadIsHigh) {
   for (int i = 0; i < 10; ++i) tasks.emplace_back(sequential_profile(1.0, 2));
   const Instance instance(2, std::move(tasks));
   EXPECT_DOUBLE_EQ(makespan_lower_bound(instance), 5.0);
+}
+
+// ---------------------------------------------------------- InstanceHandle
+
+namespace {
+
+Instance handle_instance(double scale = 1.0) {
+  std::vector<MalleableTask> tasks;
+  tasks.emplace_back(std::vector<double>{4.0 * scale, 2.5 * scale, 2.0 * scale}, "a");
+  tasks.emplace_back(std::vector<double>{3.0 * scale, 1.6 * scale, 1.2 * scale}, "b");
+  return Instance(3, std::move(tasks));
+}
+
+}  // namespace
+
+TEST(InstanceHandle, InternComputesFingerprintAndBoundExactlyOnce) {
+  const auto before = InstanceHandle::content_hashes();
+  const auto handle = InstanceHandle::intern(handle_instance());
+  EXPECT_EQ(InstanceHandle::content_hashes(), before + 1);
+
+  EXPECT_TRUE(handle.valid());
+  EXPECT_NE(handle.fingerprint(), 0u);
+  EXPECT_DOUBLE_EQ(handle.static_lower_bound(), makespan_lower_bound(handle.instance()));
+
+  // Reading identity off the handle never re-hashes; copies share it.
+  const InstanceHandle copy = handle;
+  EXPECT_EQ(copy.fingerprint(), handle.fingerprint());
+  EXPECT_EQ(copy.shared().get(), handle.shared().get());
+  EXPECT_EQ(InstanceHandle::content_hashes(), before + 1);
+}
+
+TEST(InstanceHandle, ContentIdentitySurvivesSeparateInterns) {
+  const auto a = InstanceHandle::intern(handle_instance());
+  const auto b = InstanceHandle::intern(handle_instance());       // same content
+  const auto c = InstanceHandle::intern(handle_instance(2.0));    // different
+  EXPECT_NE(a.shared().get(), b.shared().get());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_TRUE(a == b);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(InstanceHandle, TaskNamesContributeToTheFingerprint) {
+  // Bit-pattern hashing: renaming a task changes the fingerprint even when
+  // every number is identical.
+  std::vector<MalleableTask> renamed;
+  renamed.emplace_back(std::vector<double>{4.0, 2.5, 2.0}, "a2");
+  renamed.emplace_back(std::vector<double>{3.0, 1.6, 1.2}, "b");
+  const auto base = InstanceHandle::intern(handle_instance());
+  const auto other = InstanceHandle::intern(Instance(3, std::move(renamed)));
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+  EXPECT_FALSE(base == other);
+}
+
+TEST(InstanceHandle, EmptyHandleAndNullInternAreRejected) {
+  const InstanceHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_EQ(empty.fingerprint(), 0u);
+  EXPECT_THROW(static_cast<void>(empty.instance()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(InstanceHandle::intern(std::shared_ptr<const Instance>{})),
+               std::invalid_argument);
+
+  // Two empties are the same (no) content; an empty equals nothing real.
+  EXPECT_TRUE(empty == InstanceHandle{});
+  EXPECT_FALSE(empty == InstanceHandle::intern(handle_instance()));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -356,6 +357,217 @@ TEST(SchedulerService, WorkspaceReuseKeepsResultsIdenticalModuloAuditCounters) {
   }
 }
 
+// ----------------------------------------------------------- in-flight dedup
+
+/// Registry with one solver that counts invocations and blocks on the gate:
+/// the probe for "exactly one underlying solve" under concurrent duplicates.
+SolverRegistry counting_gated_registry(const std::shared_ptr<Gate>& gate,
+                                       const std::shared_ptr<std::atomic<int>>& solves) {
+  SolverRegistry registry;
+  registry.add("counted-gate", "counts invocations, blocks until released",
+               [gate, solves](const Instance& instance, const SolverOptions&) {
+                 solves->fetch_add(1);
+                 gate->enter_and_wait();
+                 return SolverResult{"", sequential_schedule(instance), 0, 0, 0, 0, {}};
+               });
+  return registry;
+}
+
+// The acceptance property for dedup: N identical concurrent submissions
+// produce exactly ONE solver invocation, every ticket observes a
+// byte-identical outcome, and the hits/joins accounting closes -- at any
+// worker count. The gate holds the leader in flight until (for >1 workers)
+// every duplicate has coalesced, which makes the join count deterministic:
+// joining is non-blocking, so a single extra worker drains all duplicates
+// into joiners while the leader still solves.
+TEST(SchedulerService, InFlightDedupCoalescesToOneSolveAtAnyThreadCount) {
+  const auto handle = InstanceHandle::intern(small_instance(91, 24, 12));
+  constexpr std::size_t kDuplicates = 8;
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto gate = std::make_shared<Gate>();
+    const auto solves = std::make_shared<std::atomic<int>>(0);
+    const auto registry = counting_gated_registry(gate, solves);
+    ServiceOptions options;
+    options.threads = threads;
+    options.registry = &registry;
+    SchedulerService service(options);
+
+    const std::vector<SolveRequest> requests(kDuplicates,
+                                             SolveRequest{"counted-gate", {}, handle});
+    const auto tickets = service.submit(requests);
+    gate->wait_entered();
+    if (threads > 1) {
+      while (service.stats().dedup_joins < kDuplicates - 1) std::this_thread::yield();
+    }
+    gate->release();
+    service.drain();
+
+    EXPECT_EQ(solves->load(), 1)
+        << "duplicates must coalesce onto one solve at " << threads << " threads";
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.dedup_joins + stats.cache_hits, kDuplicates - 1)
+        << "every non-leader must be served by a join or a hit";
+    if (threads > 1) {
+      // One worker solves, the rest join: with the leader gated, no
+      // duplicate can ever see the cache populated.
+      EXPECT_EQ(stats.dedup_joins, kDuplicates - 1);
+    } else {
+      // One worker serializes everything: the duplicates run after the
+      // leader finished and hit the cache instead.
+      EXPECT_EQ(stats.cache_hits, kDuplicates - 1);
+    }
+    EXPECT_EQ(stats.completed, kDuplicates);
+
+    // Byte-identical outcomes: every ticket's payload serializes exactly
+    // like the leader's (tickets normalized; provenance is not payload).
+    BatchJsonOptions json;
+    json.include_timing = false;
+    json.include_schedules = true;
+    std::vector<JobOutcome> outcomes;
+    for (const auto ticket : tickets) outcomes.push_back(service.wait(ticket));
+    const auto leader = std::find_if(outcomes.begin(), outcomes.end(), [](const JobOutcome& o) {
+      return !o.dedup_join && !o.cache_hit;
+    });
+    ASSERT_NE(leader, outcomes.end());
+    auto leader_norm = *leader;
+    leader_norm.ticket = 0;
+    const auto reference = batch_report_json(report_from({leader_norm}), json);
+    for (const auto& outcome : outcomes) {
+      EXPECT_EQ(outcome.status, BatchItemStatus::kOk);
+      EXPECT_GE(outcome.worker, 0);
+      auto normalized = outcome;
+      normalized.ticket = 0;
+      EXPECT_EQ(batch_report_json(report_from({normalized}), json), reference);
+    }
+  }
+}
+
+TEST(SchedulerService, CacheOptOutAlsoSkipsDedup) {
+  const auto gate = std::make_shared<Gate>();
+  const auto solves = std::make_shared<std::atomic<int>>(0);
+  const auto registry = counting_gated_registry(gate, solves);
+  ServiceOptions options;
+  options.threads = 2;
+  options.registry = &registry;
+  SchedulerService service(options);
+
+  const auto handle = InstanceHandle::intern(small_instance(92, 24, 12));
+  const std::vector<SolveRequest> requests(
+      3, SolveRequest{"counted-gate", {}, handle, /*consult_cache=*/false});
+  static_cast<void>(service.submit(requests));
+  gate->wait_entered();
+  gate->release();  // the gate stays open for every later entrant
+  service.drain();
+
+  EXPECT_EQ(solves->load(), 3) << "opted-out duplicates must each measure a real solve";
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.dedup_joins, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+// The acceptance audit: after intern(), nothing on the submit path -- key
+// construction, cache lookups, hits, misses, dedup bookkeeping -- reads
+// profile bits again. One intern, one content hash, however many submits.
+TEST(SchedulerService, SubmitPathNeverRehashesProfilesAfterIntern) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+
+  const auto before = InstanceHandle::content_hashes();
+  const auto handle = InstanceHandle::intern(small_instance(95));
+  ASSERT_EQ(InstanceHandle::content_hashes(), before + 1);
+
+  const auto submit = [&](const char* solver, const char* spec) {
+    return service.wait(
+        service.submit(SolveRequest{solver, SolverOptions::from_string(spec), handle}));
+  };
+  EXPECT_FALSE(submit("mrt", "epsilon=0.05").cache_hit);  // miss + solve + insert
+  EXPECT_TRUE(submit("mrt", "epsilon=0.05").cache_hit);   // hit
+  EXPECT_FALSE(submit("mrt", "epsilon=0.02").cache_hit);  // new options: miss
+  EXPECT_FALSE(submit("naive", "policy=lpt-seq").cache_hit);  // new solver: miss
+  EXPECT_TRUE(submit("naive", "policy=lpt-seq").cache_hit);
+
+  EXPECT_EQ(InstanceHandle::content_hashes(), before + 1)
+      << "the submit path re-hashed profile bits after intern()";
+}
+
+TEST(SchedulerService, VectorSubmitIsAllOrNothingOnInvalidRequests) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  const auto handle = InstanceHandle::intern(small_instance(97));
+  std::vector<SolveRequest> requests;
+  requests.emplace_back("naive", SolverOptions::from_string("policy=lpt-seq"), handle);
+  requests.push_back(SolveRequest{});  // empty handle: the whole batch must be rejected
+  EXPECT_THROW(static_cast<void>(service.submit(std::move(requests))), std::invalid_argument);
+  EXPECT_EQ(service.stats().submitted, 0u) << "no ticket may be issued from a rejected batch";
+  service.drain();  // returns immediately: nothing was enqueued
+}
+
+TEST(SchedulerService, ProvenanceStampsWorkerAndServingPath) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  const auto handle = InstanceHandle::intern(small_instance(96));
+  const SolveRequest request{"naive", SolverOptions::from_string("policy=lpt-seq"), handle};
+
+  const auto solved = service.wait(service.submit(request));
+  EXPECT_EQ(solved.worker, 0);  // one worker: index 0 produced it
+  EXPECT_FALSE(solved.cache_hit);
+  EXPECT_FALSE(solved.dedup_join);
+
+  const auto hit = service.wait(service.submit(request));
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_FALSE(hit.dedup_join);
+  EXPECT_EQ(hit.worker, 0);
+}
+
+// ------------------------------------------------------- slot garbage collection
+
+TEST(SchedulerService, GcSlotsReclaimsObservedDeliveredOutcomes) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.gc_slots = true;
+  SchedulerService service(options);
+  const auto handle = InstanceHandle::intern(small_instance(62));
+  const auto first =
+      service.submit(SolveRequest{"naive", SolverOptions::from_string("policy=lpt-seq"), handle});
+  const auto second = service.submit(
+      SolveRequest{"naive", SolverOptions::from_string("policy=half-speedup"), handle});
+
+  EXPECT_EQ(service.wait(first).status, BatchItemStatus::kOk);  // observed
+  service.drain();  // delivery frontier passes both tickets
+
+  // Observed AND delivered -> reclaimed: the outcome is a take-once value.
+  EXPECT_THROW(static_cast<void>(service.poll(first)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(service.wait(first)), std::logic_error);
+  EXPECT_EQ(service.state(first), JobState::kDone);  // cheap state stays readable
+
+  // Delivered but never observed -> intact until the first read...
+  const auto outcome = service.poll(second);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->status, BatchItemStatus::kOk);
+  // ... which reclaims it too.
+  EXPECT_THROW(static_cast<void>(service.poll(second)), std::logic_error);
+
+  EXPECT_EQ(service.stats().slots_reclaimed, 2u);
+}
+
+TEST(SchedulerService, GcOffKeepsOutcomesReadableForever) {
+  SchedulerService service{ServiceOptions{}};  // gc_slots defaults off
+  const auto handle = InstanceHandle::intern(small_instance(63));
+  const auto ticket =
+      service.submit(SolveRequest{"naive", SolverOptions::from_string("policy=lpt-seq"), handle});
+  static_cast<void>(service.wait(ticket));
+  service.drain();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.poll(ticket).has_value());
+  }
+  EXPECT_EQ(service.stats().slots_reclaimed, 0u);
+}
+
 // ------------------------------------------------- cancellation + shutdown
 
 TEST(SchedulerService, CancellationMidStreamDeliversInOrder) {
@@ -519,6 +731,132 @@ TEST(SolveCache, ContentAddressingSurvivesRegenerationAndCatchesDifferences) {
   EXPECT_EQ(stats.insertions, 1u);
 }
 
+TEST(SolveCache, KeyConstructionFromAHandleDoesNotRehashProfiles) {
+  const auto handle = InstanceHandle::intern(small_instance(75));
+  const auto before = InstanceHandle::content_hashes();
+  const auto key_a = SolveCache::make_key("mrt", SolverOptions::from_string("epsilon=0.05"),
+                                          handle);
+  const auto key_b = SolveCache::make_key("mrt", SolverOptions::from_string("epsilon=0.02"),
+                                          handle);
+  EXPECT_EQ(InstanceHandle::content_hashes(), before);
+  EXPECT_NE(key_a.fingerprint, key_b.fingerprint);  // options are part of the key
+  // The legacy shared_ptr shim is the one that interns (and so hashes).
+  const auto key_c = SolveCache::make_key("mrt", SolverOptions::from_string("epsilon=0.05"),
+                                          handle.shared());
+  EXPECT_EQ(InstanceHandle::content_hashes(), before + 1);
+  EXPECT_EQ(key_c.fingerprint, key_a.fingerprint);
+}
+
+TEST(SolveCache, TtlExpiresEntriesAndCountsTheCause) {
+  double fake_now = 0.0;
+  SolveCacheConfig config;
+  config.capacity = 8;
+  config.ttl_seconds = 10.0;
+  config.clock = [&fake_now] { return fake_now; };
+  SolveCache cache(config);
+
+  const auto handle = InstanceHandle::intern(small_instance(76));
+  const auto key = SolveCache::make_key("mrt", {}, handle);
+  const auto result = solve("mrt", handle.instance());
+  cache.insert(key, result);
+
+  fake_now = 5.0;
+  EXPECT_NE(cache.lookup(key), nullptr);  // young enough: hit
+  fake_now = 16.0;
+  EXPECT_EQ(cache.lookup(key), nullptr);  // stale: expired on access
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions_ttl, 1u);
+  EXPECT_EQ(stats.evictions_capacity, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  // Re-inserting after expiry starts a fresh lifetime.
+  cache.insert(key, result);
+  fake_now = 20.0;
+  EXPECT_NE(cache.lookup(key), nullptr);
+}
+
+TEST(SolveCache, TtlRefreshOfAnExpiredKeyReplacesTheEntry) {
+  double fake_now = 0.0;
+  SolveCacheConfig config;
+  config.capacity = 4;
+  config.ttl_seconds = 1.0;
+  config.clock = [&fake_now] { return fake_now; };
+  SolveCache cache(config);
+  const auto handle = InstanceHandle::intern(small_instance(77));
+  const auto key = SolveCache::make_key("mrt", {}, handle);
+  const auto result = solve("mrt", handle.instance());
+  cache.insert(key, result);
+  fake_now = 5.0;
+  cache.insert(key, result);  // idempotent path meets an expired entry
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions_ttl, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_NE(cache.lookup(key), nullptr);  // fresh lifetime from 5.0
+}
+
+TEST(SolveCache, ByteBudgetEvictsLruButKeepsASingleOversizedEntry) {
+  const auto handle_a = InstanceHandle::intern(small_instance(78));
+  const auto handle_b = InstanceHandle::intern(small_instance(79));
+  const auto options = SolverOptions::from_string("policy=lpt-seq");
+  const auto key_a = SolveCache::make_key("naive", options, handle_a);
+  const auto key_b = SolveCache::make_key("naive", options, handle_b);
+  const auto result_a = solve("naive", handle_a.instance(), options);
+  const auto result_b = solve("naive", handle_b.instance(), options);
+
+  // Measure one entry's approximate footprint with an unbounded cache.
+  SolveCacheConfig probe_config;
+  SolveCache probe(probe_config);
+  probe.insert(key_a, result_a);
+  const std::size_t one_entry = probe.stats().bytes;
+  ASSERT_GT(one_entry, 0u);
+
+  SolveCacheConfig config;
+  config.max_bytes = one_entry + one_entry / 2;  // room for one, not two
+  SolveCache cache(config);
+  cache.insert(key_a, result_a);
+  cache.insert(key_b, result_b);  // over budget: evicts LRU (key_a)
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions_bytes, 1u);
+  EXPECT_EQ(stats.evictions_capacity, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.lookup(key_a), nullptr);
+  EXPECT_NE(cache.lookup(key_b), nullptr);
+
+  // A single entry larger than the whole budget stays resident: evicting
+  // the entry an insert just paid for would make every oversized result
+  // thrash.
+  SolveCacheConfig tiny;
+  tiny.max_bytes = 1;
+  SolveCache small_cache(tiny);
+  small_cache.insert(key_a, result_a);
+  auto tiny_stats = small_cache.stats();
+  EXPECT_EQ(tiny_stats.entries, 1u);
+  EXPECT_EQ(tiny_stats.evictions_bytes, 0u);
+  EXPECT_NE(small_cache.lookup(key_a), nullptr);
+}
+
+TEST(SchedulerService, CacheBudgetsPlumbThroughServiceOptions) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.cache_max_bytes = 1;  // every second entry exceeds the budget
+  SchedulerService service(options);
+  const auto submit_seed = [&](std::uint64_t seed) {
+    return service.wait(service.submit(SolveRequest{
+        "naive", SolverOptions::from_string("policy=lpt-seq"),
+        InstanceHandle::intern(small_instance(seed))}));
+  };
+  static_cast<void>(submit_seed(83));
+  static_cast<void>(submit_seed(84));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_evictions_bytes, 1u);
+  EXPECT_EQ(stats.cache_evictions, 1u);  // total == split sum
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+}
+
 TEST(SolveCache, ZeroCapacityDisablesEverything) {
   SolveCache cache(0);
   EXPECT_FALSE(cache.enabled());
@@ -541,6 +879,25 @@ TEST(WorkerPool, RunsTasksInPostOrderPerThreadAndWaitsIdle) {
   pool.wait_idle();
   ASSERT_EQ(order.size(), 8u);
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WorkerPool, CurrentWorkerIndexIsStampedOnPoolThreadsOnly) {
+  EXPECT_EQ(WorkerPool::current_worker(), -1);  // the test thread is off-pool
+  WorkerPool pool(2);
+  std::mutex mutex;
+  std::vector<int> seen;
+  for (int i = 0; i < 16; ++i) {
+    pool.post([&] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.push_back(WorkerPool::current_worker());
+    });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(seen.size(), 16u);
+  for (const int worker : seen) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 2);
+  }
 }
 
 TEST(WorkerPool, ShutdownDiscardsQueuedTasksAndRejectsNewOnes) {
