@@ -68,7 +68,7 @@ SchedulerService::SchedulerService(ServiceOptions options)
 SchedulerService::~SchedulerService() { shutdown(); }
 
 void SchedulerService::on_result(ResultCallback callback) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (!slots_.empty()) {
     throw std::logic_error(
         "SchedulerService: on_result() must be installed before the first submit() "
@@ -95,7 +95,7 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request) {
 }
 
 JobTicket SchedulerService::submit(SolveRequest request) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return enqueue_locked(std::move(request));
 }
 
@@ -111,7 +111,7 @@ std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> reques
   }
   std::vector<JobTicket> tickets;
   tickets.reserve(requests.size());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (!accepting_) {
     throw std::runtime_error("SchedulerService: submit() after shutdown()");
   }
@@ -148,7 +148,7 @@ void SchedulerService::run_job(std::uint64_t id) {
   bool use_cache = false;
   bool use_dedup = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     Slot& slot = slots_[id];
     if (slot.state != JobState::kQueued) return;  // cancelled before start
     slot.state = JobState::kRunning;
@@ -188,7 +188,7 @@ void SchedulerService::run_job(std::uint64_t id) {
     // unlocked miss above and this lock leaves both the map and a populated
     // cache behind; we then re-solve redundantly but deterministically --
     // the same behavior every duplicate had before dedup existed.)
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (Inflight* flight = find_inflight_locked(*key)) {
       flight->joiners.push_back(Inflight::Joiner{id, stopwatch});
       ++stats_.dedup_joins;
@@ -230,7 +230,7 @@ void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reuse
   // inflight_ from here on hits the cache.
   std::vector<Inflight::Joiner> joiners;
   if (inflight_key != nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     const auto bucket = inflight_.find(inflight_key->fingerprint);
     if (bucket != inflight_.end()) {
       auto& flights = bucket->second;
@@ -265,19 +265,12 @@ void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reuse
 
   // Phase 3: publish every terminal slot under one lock -- moves only.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto count = [this](SolveStatus status) {
-      switch (status) {
-        case SolveStatus::kOk: ++stats_.completed; break;
-        case SolveStatus::kError: ++stats_.failed; break;
-        case SolveStatus::kCancelled: ++stats_.cancelled; break;
-      }
-    };
+    const LockGuard lock(mutex_);
     Slot& slot = slots_[id];
     slot.outcome = std::move(outcome);
     slot.state = JobState::kDone;
     release_request_payload(slot.request);
-    count(slot.outcome.status);
+    count_terminal_locked(slot.outcome.status);
     if (reused_workspace) ++stats_.workspace_reuses;
 
     for (std::size_t j = 0; j < joiners.size(); ++j) {
@@ -285,11 +278,19 @@ void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reuse
       joined.outcome = std::move(joined_outcomes[j]);
       joined.state = JobState::kDone;
       release_request_payload(joined.request);
-      count(joined.outcome.status);
+      count_terminal_locked(joined.outcome.status);
     }
   }
   done_cv_.notify_all();
   deliver_ready();
+}
+
+void SchedulerService::count_terminal_locked(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk: ++stats_.completed; break;
+    case SolveStatus::kError: ++stats_.failed; break;
+    case SolveStatus::kCancelled: ++stats_.cancelled; break;
+  }
 }
 
 void SchedulerService::deliver_ready() {
@@ -301,19 +302,22 @@ void SchedulerService::deliver_ready() {
   // re-checks the flag before retiring, so a slot that turns terminal
   // mid-delivery is never stranded. (A plain delivery mutex would deadlock
   // the documented cancel-in-callback case.)
+  const ResultCallback* streaming = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     delivery_requested_ = true;
     if (delivering_) return;
     delivering_ = true;
+    // Snapshot the callback's address under the lock; invoking it happens
+    // outside. Safe: on_result() may only install it before the first
+    // submit, so it is immutable for as long as deliveries exist.
+    if (callback_) streaming = &callback_;
   }
-  // Immutable once the first job is submitted, so safe to read unlocked.
-  const bool streaming = static_cast<bool>(callback_);
   for (;;) {
     const SolveOutcome* out = nullptr;
     std::uint64_t delivered_id = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       delivery_requested_ = false;
       if (next_delivery_ < slots_.size() &&
           slots_[next_delivery_].state == JobState::kDone) {
@@ -329,14 +333,14 @@ void SchedulerService::deliver_ready() {
       }
     }
     if (out != nullptr) {
-      if (streaming) {
+      if (streaming != nullptr) {
         // A throwing callback must neither wedge the stream (delivering_
         // stuck true, drain() blocked forever) nor escape into WorkerPool's
         // noexcept worker loop (std::terminate); the stream is
         // infrastructure, so the exception is swallowed and delivery
         // continues with the next ticket.
         try {
-          callback_(*out);
+          (*streaming)(*out);
         } catch (...) {
         }
       }
@@ -345,7 +349,7 @@ void SchedulerService::deliver_ready() {
         // so "drained" means every streamed callback has completed. The
         // delivered slot becomes reclaimable here (if a poll()/wait()
         // already observed it).
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const LockGuard lock(mutex_);
         ++stats_.delivered;
         in_callback_.reset();
         maybe_reclaim_locked(delivered_id);
@@ -353,7 +357,7 @@ void SchedulerService::deliver_ready() {
       done_cv_.notify_all();  // drain() watches the delivery frontier
       continue;
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (!delivery_requested_) {
       delivering_ = false;
       return;
@@ -375,7 +379,7 @@ void SchedulerService::maybe_reclaim_locked(std::uint64_t id) {
 }
 
 std::optional<SolveOutcome> SchedulerService::poll(JobTicket ticket) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
@@ -392,7 +396,7 @@ std::optional<SolveOutcome> SchedulerService::poll(JobTicket ticket) {
 }
 
 JobState SchedulerService::state(JobTicket ticket) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
@@ -400,11 +404,11 @@ JobState SchedulerService::state(JobTicket ticket) const {
 }
 
 SolveOutcome SchedulerService::wait(JobTicket ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
-  done_cv_.wait(lock, [&] { return slots_[ticket.id].state == JobState::kDone; });
+  while (slots_[ticket.id].state != JobState::kDone) done_cv_.wait(mutex_);
   Slot& slot = slots_[ticket.id];
   if (slot.reclaimed) {
     throw std::logic_error("SchedulerService: ticket " + std::to_string(ticket.id) +
@@ -418,7 +422,7 @@ SolveOutcome SchedulerService::wait(JobTicket ticket) {
 
 bool SchedulerService::cancel(JobTicket ticket) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (ticket.id >= slots_.size()) {
       throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
     }
@@ -438,14 +442,14 @@ bool SchedulerService::cancel(JobTicket ticket) {
 }
 
 void SchedulerService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const std::uint64_t target = slots_.size();
-  done_cv_.wait(lock, [&] { return stats_.delivered >= target; });
+  while (stats_.delivered < target) done_cv_.wait(mutex_);
 }
 
 void SchedulerService::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     accepting_ = false;
     for (std::uint64_t id = 0; id < slots_.size(); ++id) {
       Slot& slot = slots_[id];
@@ -469,7 +473,7 @@ void SchedulerService::shutdown() {
 ServiceStats SchedulerService::stats() const {
   ServiceStats out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     out = stats_;
   }
   const SolveCacheStats cache = cache_.stats();

@@ -1,11 +1,9 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -15,6 +13,7 @@
 #include "api/solve_cache.hpp"
 #include "exec/batch_runner.hpp"
 #include "exec/worker_pool.hpp"
+#include "support/mutex.hpp"
 #include "support/stopwatch.hpp"
 
 /// The service-grade front door of the library: a long-lived scheduler that
@@ -128,6 +127,12 @@ enum class JobState {
 /// the one type batch items, bench cases, and service outcomes share.
 using JobOutcome = SolveOutcome;
 
+/// Point-in-time service counters. stats() fills the service-side fields as
+/// ONE consistent snapshot copied under the state mutex (no field-by-field
+/// tearing mid-update); the cache_* fields are a second snapshot taken under
+/// the cache's own mutex immediately after, so service and cache counters
+/// may be skewed by work that completed between the two locks -- each half
+/// is internally consistent.
 struct ServiceStats {
   std::uint64_t submitted{0};
   std::uint64_t completed{0};  ///< solved ok (cache hits and joins included)
@@ -168,53 +173,59 @@ class SchedulerService {
   /// Installs the streaming callback. Must be called before the first
   /// submit() (throws std::logic_error otherwise): a stream that starts
   /// mid-run would silently miss already-delivered outcomes.
-  void on_result(ResultCallback callback);
+  void on_result(ResultCallback callback) MALSCHED_EXCLUDES(mutex_);
 
   /// Enqueues one request; returns immediately. Throws std::runtime_error
   /// after shutdown() and std::invalid_argument on an empty handle.
-  JobTicket submit(SolveRequest request);
+  JobTicket submit(SolveRequest request) MALSCHED_EXCLUDES(mutex_);
 
   /// Enqueues many requests atomically (their tickets are consecutive).
-  std::vector<JobTicket> submit(std::vector<SolveRequest> requests);
+  std::vector<JobTicket> submit(std::vector<SolveRequest> requests)
+      MALSCHED_EXCLUDES(mutex_);
 
   /// Pre-v2 shims: intern the job's instance (one fingerprint per call --
   /// per distinct instance for the vector form), map SubmitOptions::cache to
   /// SolveRequest::use_cache, and forward.
-  JobTicket submit(BatchJob job, SubmitOptions options = {});
-  std::vector<JobTicket> submit(std::vector<BatchJob> jobs, SubmitOptions options = {});
+  JobTicket submit(BatchJob job, SubmitOptions options = {}) MALSCHED_EXCLUDES(mutex_);
+  std::vector<JobTicket> submit(std::vector<BatchJob> jobs, SubmitOptions options = {})
+      MALSCHED_EXCLUDES(mutex_);
 
   /// Non-blocking: the outcome if the job reached a terminal state, nullopt
   /// while queued/running. Throws std::out_of_range on a ticket this service
   /// never issued, and std::logic_error on one already reclaimed by
   /// gc_slots. Observing the outcome here makes the slot reclaimable (the
   /// reason this is not const).
-  [[nodiscard]] std::optional<SolveOutcome> poll(JobTicket ticket);
+  [[nodiscard]] std::optional<SolveOutcome> poll(JobTicket ticket)
+      MALSCHED_EXCLUDES(mutex_);
 
-  [[nodiscard]] JobState state(JobTicket ticket) const;
+  [[nodiscard]] JobState state(JobTicket ticket) const MALSCHED_EXCLUDES(mutex_);
 
   /// Blocks until the job reaches a terminal state; returns its outcome.
   /// Same reclamation semantics as poll().
-  [[nodiscard]] SolveOutcome wait(JobTicket ticket);
+  [[nodiscard]] SolveOutcome wait(JobTicket ticket) MALSCHED_EXCLUDES(mutex_);
 
   /// Requests cancellation. Jobs still queued are cancelled immediately
   /// (their outcome is kCancelled and enters the stream in ticket order);
   /// returns false for jobs already running (a dedup joiner counts as
   /// running -- its leader is), or terminal -- solves are not interrupted
   /// mid-flight, matching BatchRunner's cancellation model.
-  bool cancel(JobTicket ticket);
+  bool cancel(JobTicket ticket) MALSCHED_EXCLUDES(mutex_);
 
   /// Blocks until every job submitted BEFORE the call is delivered to the
   /// stream (and thus terminal). Safe to call repeatedly and concurrently
   /// with new submissions.
-  void drain();
+  void drain() MALSCHED_EXCLUDES(mutex_);
 
   /// Graceful stop: rejects new submissions, cancels every queued job,
   /// lets running solves finish, delivers every outcome, joins the workers.
   /// Idempotent.
-  void shutdown();
+  void shutdown() MALSCHED_EXCLUDES(mutex_);
 
   [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
-  [[nodiscard]] ServiceStats stats() const;
+
+  /// One consistent snapshot of the service counters, copied under the
+  /// state mutex (see ServiceStats).
+  [[nodiscard]] ServiceStats stats() const MALSCHED_EXCLUDES(mutex_);
 
  private:
   struct Slot {
@@ -236,29 +247,31 @@ class SchedulerService {
     std::vector<Joiner> joiners;
   };
 
-  JobTicket enqueue_locked(SolveRequest request);  // mutex_ held
-  void run_job(std::uint64_t id);
+  JobTicket enqueue_locked(SolveRequest request) MALSCHED_REQUIRES(mutex_);
+  void run_job(std::uint64_t id) MALSCHED_EXCLUDES(mutex_);
   void finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
-              const SolveCache::Key* inflight_key);
-  void deliver_ready();
-  Inflight* find_inflight_locked(const SolveCache::Key& key);
-  void maybe_reclaim_locked(std::uint64_t id);
+              const SolveCache::Key* inflight_key) MALSCHED_EXCLUDES(mutex_);
+  void deliver_ready() MALSCHED_EXCLUDES(mutex_);
+  Inflight* find_inflight_locked(const SolveCache::Key& key) MALSCHED_REQUIRES(mutex_);
+  void maybe_reclaim_locked(std::uint64_t id) MALSCHED_REQUIRES(mutex_);
+  void count_terminal_locked(SolveStatus status) MALSCHED_REQUIRES(mutex_);
 
   ServiceOptions options_;
   const SolverRegistry* registry_;
-  SolveCache cache_;
+  SolveCache cache_;  ///< internally synchronized (own mutex)
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;  ///< wait()/drain(): "a slot turned terminal"
-  std::deque<Slot> slots_;           ///< slot id == ticket id (kept for poll())
-  std::uint64_t next_delivery_{0};
-  bool accepting_{true};
-  ServiceStats stats_;
+  mutable Mutex mutex_;
+  CondVar done_cv_;  ///< wait()/drain(): "a slot turned terminal"
+  /// Slot id == ticket id (kept for poll()).
+  std::deque<Slot> slots_ MALSCHED_GUARDED_BY(mutex_);
+  std::uint64_t next_delivery_ MALSCHED_GUARDED_BY(mutex_){0};
+  bool accepting_ MALSCHED_GUARDED_BY(mutex_){true};
+  ServiceStats stats_ MALSCHED_GUARDED_BY(mutex_);
 
   /// Leaders currently solving, by key fingerprint (vector per bucket for
-  /// collision safety). Guarded by mutex_; entries live from the leader's
-  /// miss to its finish().
-  std::unordered_map<std::uint64_t, std::vector<Inflight>> inflight_;
+  /// collision safety). Entries live from the leader's miss to its finish().
+  std::unordered_map<std::uint64_t, std::vector<Inflight>> inflight_
+      MALSCHED_GUARDED_BY(mutex_);
 
   /// Single-deliverer protocol (see deliver_ready()): `delivering_` elects
   /// one thread to invoke callbacks in ticket order; `delivery_requested_`
@@ -266,10 +279,13 @@ class SchedulerService {
   /// inside the callback) completions are never stranded. `in_callback_`
   /// names the slot whose outcome the callback is reading right now, so
   /// gc_slots cannot free it mid-read.
-  bool delivering_{false};
-  bool delivery_requested_{false};
-  std::optional<std::uint64_t> in_callback_;
-  ResultCallback callback_;
+  bool delivering_ MALSCHED_GUARDED_BY(mutex_){false};
+  bool delivery_requested_ MALSCHED_GUARDED_BY(mutex_){false};
+  std::optional<std::uint64_t> in_callback_ MALSCHED_GUARDED_BY(mutex_);
+  /// Written by on_result() strictly before the first submit (enforced), so
+  /// immutable once workers exist; deliver_ready() snapshots its address
+  /// under the lock and invokes it outside (documented there).
+  ResultCallback callback_ MALSCHED_GUARDED_BY(mutex_);
 
   WorkerPool pool_;  ///< last member: destroyed (joined) before the state above
 };

@@ -100,7 +100,7 @@ void SolveCache::erase_locked(EntryList::iterator it) {
 
 std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
   if (config_.capacity == 0) return nullptr;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto bucket = index_.find(key.fingerprint);
   if (bucket != index_.end()) {
     for (const auto& it : bucket->second) {
@@ -127,7 +127,7 @@ void SolveCache::insert(const Key& key, const SolverResult& result) {
   // stays outside the critical section.
   auto memoized = std::make_shared<const SolverResult>(result);
   const std::size_t entry_bytes = approx_entry_bytes(key, result);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const double at = now();
 
   // Idempotent re-insert (two workers may race the same miss): refresh a
@@ -175,14 +175,14 @@ void SolveCache::insert(const Key& key, const SolverResult& result) {
 }
 
 void SolveCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   entries_.clear();
   index_.clear();
   bytes_ = 0;
 }
 
 SolveCacheStats SolveCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   SolveCacheStats out = stats_;
   out.entries = entries_.size();
   out.bytes = bytes_;

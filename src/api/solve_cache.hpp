@@ -4,10 +4,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 #include "api/solver_options.hpp"
 #include "api/solver_result.hpp"
@@ -40,7 +41,10 @@
 /// Thread safety: fully synchronized internally (one mutex; the critical
 /// sections are lookups and list splices, never solves), so any number of
 /// service workers can share one cache. A memoized result is returned BY
-/// VALUE -- results are immutable once inserted.
+/// VALUE -- results are immutable once inserted. The locking discipline is
+/// machine-checked: every shared field is MALSCHED_GUARDED_BY(mutex_) and
+/// clang's thread-safety analysis runs over it in CI (see
+/// support/thread_annotations.hpp).
 namespace malsched {
 
 struct SolveCacheConfig {
@@ -104,18 +108,21 @@ class SolveCache {
   /// and reported as a miss. Returned as a shared_ptr so callers copy (or
   /// just read) OUTSIDE the cache lock -- results are immutable once
   /// inserted, and full SolverResult copies carry whole Schedules.
-  [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key);
+  [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key)
+      MALSCHED_EXCLUDES(mutex_);
 
   /// Memoizes `result` under `key` (idempotent: re-inserting a live key
   /// refreshes LRU without duplicating; re-inserting an expired one replaces
   /// it), then evicts from the LRU tail until both budgets hold. The copy
   /// into the cache happens before the lock.
-  void insert(const Key& key, const SolverResult& result);
+  void insert(const Key& key, const SolverResult& result) MALSCHED_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() MALSCHED_EXCLUDES(mutex_);
 
   [[nodiscard]] bool enabled() const noexcept { return config_.capacity > 0; }
-  [[nodiscard]] SolveCacheStats stats() const;
+
+  /// One consistent snapshot, copied under the cache mutex.
+  [[nodiscard]] SolveCacheStats stats() const MALSCHED_EXCLUDES(mutex_);
 
   /// Same job? Full comparison behind the fingerprint (collision safety).
   /// Public so other key-indexed structures (the service's in-flight dedup
@@ -133,14 +140,15 @@ class SolveCache {
 
   [[nodiscard]] double now() const;
   [[nodiscard]] bool expired(const Entry& entry, double at) const noexcept;
-  void erase_locked(EntryList::iterator it);  // mutex_ held
+  void erase_locked(EntryList::iterator it) MALSCHED_REQUIRES(mutex_);
 
-  SolveCacheConfig config_;
-  mutable std::mutex mutex_;
-  EntryList entries_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
-  std::size_t bytes_{0};  ///< sum of Entry::bytes
-  SolveCacheStats stats_;
+  SolveCacheConfig config_;  ///< immutable after construction
+  mutable Mutex mutex_;
+  EntryList entries_ MALSCHED_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_
+      MALSCHED_GUARDED_BY(mutex_);
+  std::size_t bytes_ MALSCHED_GUARDED_BY(mutex_){0};  ///< sum of Entry::bytes
+  SolveCacheStats stats_ MALSCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace malsched

@@ -87,6 +87,9 @@ BatchReport BatchRunner::run(const std::vector<SolveRequest>& requests,
 
   // Each worker writes exclusively into its job's preallocated slot, so the
   // output never depends on completion order -- only the wall time does.
+  // This index-partitioned ownership is why the runner needs no mutex at
+  // all: the only cross-thread state is the two CancelTokens (atomics) and
+  // parallel_for's dispatch counter.
   const auto run_one = [&](std::size_t i) {
     BatchItem& item = report.items[i];
     item.index = i;

@@ -84,7 +84,10 @@ struct BatchItem {
 };
 
 /// Cooperative cancellation flag; copies share one underlying flag, so a
-/// caller can hand a token to run() and cancel from another thread.
+/// caller can hand a token to run() and cancel from another thread. The
+/// shared flag is atomic -- no mutex to annotate; relaxed ordering suffices
+/// because cancellation is advisory (a late read only delays the skip by
+/// one job, it can never corrupt state).
 class CancelToken {
  public:
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}

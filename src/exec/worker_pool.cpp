@@ -15,6 +15,10 @@ WorkerPool::WorkerPool(unsigned threads) {
   unsigned count = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (count == 0) count = 1;
   thread_count_ = count;
+  // Guarded fields written without the lock: no other thread can reach this
+  // pool until the constructor returns, and the spawned workers synchronize
+  // on mutex_ before their first queue_ read. (The analysis does not check
+  // constructors, matching that reasoning.)
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -26,7 +30,7 @@ WorkerPool::~WorkerPool() { shutdown(); }
 void WorkerPool::post(std::function<void()> task) {
   if (!task) throw std::invalid_argument("WorkerPool: null task");
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (stopping_) throw std::runtime_error("WorkerPool: post() after shutdown()");
     queue_.push_back(std::move(task));
   }
@@ -34,8 +38,8 @@ void WorkerPool::post(std::function<void()> task) {
 }
 
 void WorkerPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  const LockGuard lock(mutex_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.wait(mutex_);
 }
 
 void WorkerPool::shutdown() {
@@ -45,7 +49,7 @@ void WorkerPool::shutdown() {
   // owns the stronger postcondition).
   std::vector<std::thread> to_join;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
     queue_.clear();  // unstarted tasks are discarded, by contract
     to_join.swap(workers_);
@@ -58,7 +62,7 @@ void WorkerPool::shutdown() {
 }
 
 std::size_t WorkerPool::queued() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -66,16 +70,18 @@ int WorkerPool::current_worker() noexcept { return tls_worker_index; }
 
 void WorkerPool::worker_loop(unsigned index) noexcept {
   tls_worker_index = static_cast<int>(index);
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ and nothing left to run
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    ++running_;
-    lock.unlock();
+    std::function<void()> task;
+    {
+      const LockGuard lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
     task();  // noexcept boundary: a throwing task terminates, loudly
-    lock.lock();
+    const LockGuard lock(mutex_);
     --running_;
     if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
   }

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 /// A persistent fixed-size thread pool with a FIFO task queue -- the
 /// long-lived counterpart of BatchRunner's one-shot fork-join.
@@ -37,12 +37,12 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueues one task; throws std::runtime_error after shutdown().
-  void post(std::function<void()> task);
+  void post(std::function<void()> task) MALSCHED_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is running. Tasks posted
   /// while waiting extend the wait (this is "idle", not a point-in-time
   /// barrier).
-  void wait_idle();
+  void wait_idle() MALSCHED_EXCLUDES(mutex_);
 
   /// Stops the pool: currently-running tasks finish, queued-but-unstarted
   /// tasks are DISCARDED (callers that need every task observed must drain
@@ -50,13 +50,13 @@ class WorkerPool {
   /// SchedulerService tracks job slots), workers are joined. Idempotent and
   /// safe for concurrent callers (one of them performs the join; the others
   /// may return first). post() afterwards throws.
-  void shutdown();
+  void shutdown() MALSCHED_EXCLUDES(mutex_);
 
   /// Worker threads the pool was started with (fixed at construction).
   [[nodiscard]] unsigned threads() const noexcept { return thread_count_; }
 
   /// Queued-but-unstarted tasks (diagnostic; racy by nature).
-  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t queued() const MALSCHED_EXCLUDES(mutex_);
 
   /// Index of the calling thread within its pool ([0, threads())), or -1
   /// when the caller is not a pool worker. Provenance for SolveOutcome:
@@ -64,16 +64,18 @@ class WorkerPool {
   [[nodiscard]] static int current_worker() noexcept;
 
  private:
-  void worker_loop(unsigned index) noexcept;
+  void worker_loop(unsigned index) noexcept MALSCHED_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers: "queue non-empty or stopping"
-  std::condition_variable idle_cv_;  ///< wait_idle: "queue empty and nothing running"
-  std::deque<std::function<void()>> queue_;
-  std::size_t running_{0};
-  bool stopping_{false};
-  unsigned thread_count_{0};  ///< fixed at construction; workers_ is claimed by shutdown()
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar work_cv_;  ///< workers: "queue non-empty or stopping"
+  CondVar idle_cv_;  ///< wait_idle: "queue empty and nothing running"
+  std::deque<std::function<void()>> queue_ MALSCHED_GUARDED_BY(mutex_);
+  std::size_t running_ MALSCHED_GUARDED_BY(mutex_){0};
+  bool stopping_ MALSCHED_GUARDED_BY(mutex_){false};
+  /// Fixed at construction, read without the lock; workers_ (the joinable
+  /// handles) is claimed under the lock by exactly one shutdown() caller.
+  unsigned thread_count_{0};
+  std::vector<std::thread> workers_ MALSCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace malsched

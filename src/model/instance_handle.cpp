@@ -16,7 +16,11 @@ using fnv::mix_bytes;
 using fnv::mix_u64;
 
 /// One intern() == one tick; the submit-path "zero re-hash" contract is
-/// asserted against this counter in the tests.
+/// asserted against this counter in the tests. Atomic rather than
+/// mutex-guarded (nothing for thread-safety annotations to see): it is a
+/// monotone audit counter with no invariant linking it to other state, so
+/// relaxed increments are exactly as strong as the read-read deltas the
+/// tests take.
 std::atomic<std::uint64_t> hash_count{0};
 
 /// Canonical content fingerprint. Field order is fixed; every double

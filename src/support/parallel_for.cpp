@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 namespace malsched {
 
@@ -26,9 +27,12 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     return;
   }
 
+  // The only shared state: the work counter (atomic -- the shared-counter
+  // dispatch IS the determinism story, see the header) and the first
+  // exception, guarded by a local annotated Mutex.
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   const auto worker = [&] {
     // Dynamic chunking: grab small index blocks so irregular per-instance
@@ -42,7 +46,7 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
         try {
           body(i);
         } catch (...) {
-          const std::scoped_lock lock(error_mutex);
+          const LockGuard lock(error_mutex);
           if (!error) error = std::current_exception();
           return;
         }

@@ -9,6 +9,11 @@
 /// contribution is algorithmic, not an implementation of parallel search);
 /// this utility only parallelizes *independent instance evaluations* in
 /// benches and tests.
+///
+/// Concurrency contract: workers share exactly one atomic index counter
+/// (lock-free dispatch) plus a first-exception slot guarded by an annotated
+/// support/mutex.hpp Mutex; `body` owns whatever state it touches for each
+/// distinct index.
 namespace malsched {
 
 /// The worker count parallel_for will actually use for `count` items:

@@ -1,0 +1,8 @@
+// Lint fixture: a new call site reaching for the legacy BatchJob entry
+// point instead of SolveRequest/SchedulerService (API v2). The legacy name
+// appears on exactly one code line, so exactly one finding.
+// lint:expect(legacy-api)
+
+int fixture_submit(const struct BatchJob& job);
+
+int fixture_forward(const struct fixture_opaque& job);

@@ -1,0 +1,6 @@
+// Lint fixture: header without #pragma once. (The directive lives in the
+// marker below, not the file, so double inclusion would redefine the
+// function.)
+// lint:expect(pragma-once)
+
+inline int fixture_answer() { return 42; }

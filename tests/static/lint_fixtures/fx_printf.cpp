@@ -1,0 +1,11 @@
+// Lint fixture: printf-family output from library code. snprintf is the
+// one sanctioned member (bounded, used by support/json.cpp for float
+// formatting) and must NOT be flagged.
+// lint:expect(printf)
+#include <cstdio>
+
+void fixture_report(double value) {
+  std::printf("value=%f\n", value);
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%f", value);  // allowed: bounded
+}

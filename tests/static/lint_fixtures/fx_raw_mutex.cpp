@@ -1,0 +1,15 @@
+// Lint fixture: raw standard-library locking that bypasses the annotated
+// support/mutex.hpp wrapper (invisible to -Wthread-safety).
+// lint:expect(raw-mutex)
+// lint:expect(raw-mutex)
+#include <mutex>
+
+namespace {
+std::mutex fixture_mutex;
+int fixture_value = 0;
+}  // namespace
+
+void fixture_bump() {
+  const std::lock_guard<std::mutex> lock(fixture_mutex);  // lint counts the line once
+  ++fixture_value;
+}

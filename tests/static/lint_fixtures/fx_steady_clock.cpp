@@ -1,0 +1,12 @@
+// Lint fixture: wall-clock timing outside support/stopwatch.hpp.
+// lint:expect(steady-clock)
+// lint:expect(steady-clock)
+#include <chrono>
+
+double fixture_elapsed() {
+  const auto start = std::chrono::system_clock::now();
+  const auto stop = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(stop.time_since_epoch() -
+                                       start.time_since_epoch())
+      .count();
+}

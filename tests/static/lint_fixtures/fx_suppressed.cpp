@@ -1,0 +1,16 @@
+// Lint fixture: the same raw-mutex violations as fx_raw_mutex.cpp, but
+// every one carries a lint:allow -- the linter must report NOTHING here
+// (no lint:expect markers). Exercises both same-line and preceding-line
+// suppression.
+#include <mutex>
+
+namespace {
+std::mutex fixture_mutex;  // lint:allow(raw-mutex)
+int fixture_value = 0;
+}  // namespace
+
+void fixture_bump() {
+  // lint:allow(raw-mutex)
+  const std::lock_guard<std::mutex> lock(fixture_mutex);
+  ++fixture_value;
+}

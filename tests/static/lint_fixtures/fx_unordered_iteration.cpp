@@ -1,0 +1,14 @@
+// Lint fixture: hash-order iteration over an unordered container -- the
+// classic nondeterminism leak into JSON/table artifacts.
+// lint:expect(unordered-iteration)
+#include <string>
+#include <unordered_map>
+
+int fixture_total() {
+  std::unordered_map<std::string, int> counts{{"a", 1}, {"b", 2}};
+  int total = 0;
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,75 @@
+# Compile-fail harness for the thread-safety annotations (configure-time).
+#
+# Every ts_*.cpp snippet in this directory has two personalities:
+#
+#   * good (default):                the snippet holds the right locks and
+#     MUST COMPILE under every configured compiler -- gcc included, where
+#     the MALSCHED_* annotation macros expand to nothing. This keeps the
+#     snippets honest C++ instead of rotting behind an #ifdef.
+#
+#   * bad (-DMALSCHED_STATIC_VIOLATE): the snippet commits one seeded
+#     concurrency mistake (unguarded field access, missing release,
+#     REQUIRES violation, double acquire) and MUST BE REJECTED by clang's
+#     `-Wthread-safety -Wthread-safety-beta -Werror`. A bad variant that
+#     compiles means the annotations stopped protecting that class of bug,
+#     so the configure step fails hard.
+#
+# Bad variants are only exercised under clang (gcc has no thread-safety
+# analysis; off clang the annotations are no-ops and the seeded bugs
+# compile "fine"). The harness passes the analysis flags itself, so any
+# clang configure -- not just -DMALSCHED_THREAD_SAFETY=ON -- runs them.
+
+set(MALSCHED_STATIC_SNIPPETS
+  ts_unguarded_field
+  ts_missing_release
+  ts_requires_violation
+  ts_double_acquire)
+
+set(MALSCHED_STATIC_DIR ${CMAKE_CURRENT_LIST_DIR})
+set(MALSCHED_STATIC_BIN ${CMAKE_BINARY_DIR}/static_checks)
+
+foreach(snippet IN LISTS MALSCHED_STATIC_SNIPPETS)
+  set(snippet_source ${MALSCHED_STATIC_DIR}/${snippet}.cpp)
+
+  # Fresh verdict every configure: try_compile caches its result variable,
+  # and a stale OK must not mask a regression introduced since.
+  unset(MALSCHED_STATIC_GOOD_${snippet} CACHE)
+  try_compile(MALSCHED_STATIC_GOOD_${snippet}
+    ${MALSCHED_STATIC_BIN}/${snippet}_good
+    SOURCES ${snippet_source}
+    CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+    LINK_LIBRARIES Threads::Threads
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE MALSCHED_STATIC_GOOD_LOG)
+  if(NOT MALSCHED_STATIC_GOOD_${snippet})
+    message(FATAL_ERROR
+      "static check ${snippet}: the CORRECTED snippet failed to compile -- "
+      "the harness is broken, not the annotations.\n"
+      "${MALSCHED_STATIC_GOOD_LOG}")
+  endif()
+
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    unset(MALSCHED_STATIC_BAD_${snippet} CACHE)
+    try_compile(MALSCHED_STATIC_BAD_${snippet}
+      ${MALSCHED_STATIC_BIN}/${snippet}_bad
+      SOURCES ${snippet_source}
+      CMAKE_FLAGS
+        "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+        "-DCMAKE_CXX_FLAGS=-Wthread-safety -Wthread-safety-beta -Werror"
+      COMPILE_DEFINITIONS -DMALSCHED_STATIC_VIOLATE
+      LINK_LIBRARIES Threads::Threads
+      CXX_STANDARD 20
+      CXX_STANDARD_REQUIRED ON
+      OUTPUT_VARIABLE MALSCHED_STATIC_BAD_LOG)
+    if(MALSCHED_STATIC_BAD_${snippet})
+      message(FATAL_ERROR
+        "static check ${snippet}: the SEEDED VIOLATION compiled clean under "
+        "-Wthread-safety -- the annotations no longer reject this bug class.")
+    endif()
+    message(STATUS "static check ${snippet}: good compiles, bad rejected")
+  else()
+    message(STATUS
+      "static check ${snippet}: good compiles (violation check needs clang)")
+  endif()
+endforeach()

@@ -1,0 +1,33 @@
+// Thread-safety-analysis regression snippet: LOCK ACQUIRED TWICE.
+//
+// As written, each scope takes the mutex once and the snippet compiles
+// clean under `-Wthread-safety -Wthread-safety-beta -Werror`. With
+// MALSCHED_STATIC_VIOLATE defined, a second LockGuard acquires the same
+// (non-recursive!) mutex in the same scope -- a guaranteed self-deadlock at
+// runtime, rejected at compile time -- and the build MUST fail (enforced by
+// tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Tally {
+  malsched::Mutex mutex;
+  int total MALSCHED_GUARDED_BY(mutex){0};
+
+  void add(int amount) MALSCHED_EXCLUDES(mutex) {
+    const malsched::LockGuard lock(mutex);
+#if defined(MALSCHED_STATIC_VIOLATE)
+    const malsched::LockGuard again(mutex);  // self-deadlock
+#endif
+    total += amount;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.add(2);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Thread-safety-analysis regression snippet: MISSING RELEASE.
+//
+// As written, the manual lock()/unlock() pair is balanced and the snippet
+// compiles clean under `-Wthread-safety -Wthread-safety-beta -Werror`.
+// With MALSCHED_STATIC_VIOLATE defined, the unlock disappears -- the
+// function exits still holding a capability it promised (by EXCLUDES) not
+// to keep -- and the build MUST fail (enforced by
+// tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Counter {
+  malsched::Mutex mutex;
+  int value MALSCHED_GUARDED_BY(mutex){0};
+
+  void bump() MALSCHED_EXCLUDES(mutex) {
+    mutex.lock();
+    ++value;
+#if !defined(MALSCHED_STATIC_VIOLATE)
+    mutex.unlock();
+#endif
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

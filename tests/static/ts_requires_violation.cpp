@@ -1,0 +1,37 @@
+// Thread-safety-analysis regression snippet: REQUIRES VIOLATION.
+//
+// As written, the MALSCHED_REQUIRES(mutex) helper is only called with the
+// lock held and the snippet compiles clean under `-Wthread-safety
+// -Wthread-safety-beta -Werror`. With MALSCHED_STATIC_VIOLATE defined, the
+// caller skips the lock -- calling a *_locked function without its
+// precondition, the mistake the service's enqueue_locked/-style helpers
+// exist to catch -- and the build MUST fail (enforced by
+// tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Queue {
+  malsched::Mutex mutex;
+  int depth MALSCHED_GUARDED_BY(mutex){0};
+
+  void push_locked() MALSCHED_REQUIRES(mutex) { ++depth; }
+
+  void push() MALSCHED_EXCLUDES(mutex) {
+#if defined(MALSCHED_STATIC_VIOLATE)
+    push_locked();  // precondition not established
+#else
+    const malsched::LockGuard lock(mutex);
+    push_locked();
+#endif
+  }
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Thread-safety-analysis regression snippet: UNGUARDED FIELD ACCESS.
+//
+// As written, every touch of `balance` holds the guarding mutex and the
+// snippet compiles clean under `-Wthread-safety -Wthread-safety-beta
+// -Werror`. With MALSCHED_STATIC_VIOLATE defined, read() reaches the
+// MALSCHED_GUARDED_BY field without the lock -- the exact mistake a torn
+// ServiceStats read would be -- and the build MUST fail (enforced by
+// tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Account {
+  malsched::Mutex mutex;
+  int balance MALSCHED_GUARDED_BY(mutex){0};
+
+  void deposit(int amount) MALSCHED_EXCLUDES(mutex) {
+    const malsched::LockGuard lock(mutex);
+    balance += amount;
+  }
+
+  int read() MALSCHED_EXCLUDES(mutex) {
+#if defined(MALSCHED_STATIC_VIOLATE)
+    return balance;  // racy read: no lock held
+#else
+    const malsched::LockGuard lock(mutex);
+    return balance;
+#endif
+  }
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.read() == 1 ? 0 : 1;
+}

@@ -8,10 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -23,6 +21,7 @@
 #include "api/solve_cache.hpp"
 #include "exec/batch_json.hpp"
 #include "exec/worker_pool.hpp"
+#include "support/mutex.hpp"
 #include "workload/generators.hpp"
 
 namespace malsched {
@@ -83,24 +82,24 @@ BatchReport report_from(const std::vector<JobOutcome>& outcomes) {
 /// Two-way latch for the blocking test solver: the test waits for the solve
 /// to start, the solve waits for the test to release it.
 struct Gate {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool entered{false};
-  bool open{false};
+  Mutex mutex;
+  CondVar cv;
+  bool entered MALSCHED_GUARDED_BY(mutex){false};
+  bool open MALSCHED_GUARDED_BY(mutex){false};
 
-  void enter_and_wait() {
-    std::unique_lock<std::mutex> lock(mutex);
+  void enter_and_wait() MALSCHED_EXCLUDES(mutex) {
+    const LockGuard lock(mutex);
     entered = true;
     cv.notify_all();
-    cv.wait(lock, [this] { return open; });
+    while (!open) cv.wait(mutex);
   }
-  void wait_entered() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return entered; });
+  void wait_entered() MALSCHED_EXCLUDES(mutex) {
+    const LockGuard lock(mutex);
+    while (!entered) cv.wait(mutex);
   }
-  void release() {
+  void release() MALSCHED_EXCLUDES(mutex) {
     {
-      const std::lock_guard<std::mutex> lock(mutex);
+      const LockGuard lock(mutex);
       open = true;
     }
     cv.notify_all();
@@ -884,11 +883,11 @@ TEST(WorkerPool, RunsTasksInPostOrderPerThreadAndWaitsIdle) {
 TEST(WorkerPool, CurrentWorkerIndexIsStampedOnPoolThreadsOnly) {
   EXPECT_EQ(WorkerPool::current_worker(), -1);  // the test thread is off-pool
   WorkerPool pool(2);
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<int> seen;
   for (int i = 0; i < 16; ++i) {
     pool.post([&] {
-      const std::lock_guard<std::mutex> lock(mutex);
+      const LockGuard lock(mutex);
       seen.push_back(WorkerPool::current_worker());
     });
   }

@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Repo-convention linter for malsched (standard library only, like
+bench/validate_bench_json.py -- CI and the dev container install nothing).
+
+Walks src/ tests/ bench/ examples/ and fails on C++ that violates the
+conventions the codebase actually depends on:
+
+  steady-clock          system_clock / high_resolution_clock anywhere but
+                        support/stopwatch.hpp. Bench timing must come from
+                        the steady-clock Stopwatch or runs are not
+                        comparable across machines and NTP steps.
+  raw-mutex             std::mutex / lock_guard / unique_lock /
+                        condition_variable & friends outside
+                        support/mutex.hpp. All locking goes through the
+                        annotated wrapper so clang -Wthread-safety sees it.
+  unordered-iteration   range-for over a std::unordered_{map,set} declared
+                        in the same file. Hash-order iteration is the
+                        classic way nondeterminism leaks into JSON/table
+                        artifacts; iterate a sorted copy or an index.
+  pragma-once           every .hpp must carry #pragma once.
+  legacy-api            BatchJob in library code outside its documented
+                        shims. New call sites use SolveRequest +
+                        SchedulerService / solve_batch (API v2).
+  printf                printf-family output in library code (src/).
+                        Library code reports through return values and
+                        support/json.hpp|table.hpp; snprintf stays legal
+                        (json.cpp formats floats with it, bounded).
+
+Suppress a single finding with `// lint:allow(<rule>)` on the same line or
+the line directly above. File-level rules (pragma-once) accept the
+directive anywhere in the file.
+
+usage:
+  lint_repo.py                 lint the tree (rule scopes apply); exit 1 on
+                               any violation
+  lint_repo.py FILE [FILE...]  strict mode: lint exactly these files with
+                               every rule armed (scopes and allowlists
+                               ignored) -- what --self-test runs on the
+                               seeded fixtures in tests/static/lint_fixtures/
+  lint_repo.py --list-rules    print rule ids + one-line docs
+  lint_repo.py --self-test     check every fixture trips exactly the rules
+                               its lint:expect(<rule>) markers claim
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+FIXTURE_DIR = os.path.join("tests", "static", "lint_fixtures")
+CXX_EXTENSIONS = (".hpp", ".h", ".hh", ".cpp", ".cc", ".cxx")
+
+DIRECTIVE_RE = re.compile(r"lint:(allow|expect)\(([a-z0-9-]+)\)")
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so token rules cannot fire on prose or quoted examples.
+    Handles //, /* */, "...", '...', and R"delim(...)delim"."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif ch == "R" and text[i + 1:i + 2] == '"':
+            delim_end = text.find("(", i + 2)
+            if delim_end == -1:
+                out.append(ch)
+                i += 1
+                continue
+            delim = text[i + 2:delim_end]
+            close = text.find(")" + delim + '"', delim_end)
+            close = n if close == -1 else close + len(delim) + 2
+            out.append("\n" * text.count("\n", i, close))
+            i = close
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# Each token rule: (id, doc, scope prefixes or None for everywhere,
+# allowlisted paths, compiled pattern, message).
+CLOCK_RE = re.compile(r"\b(system_clock|high_resolution_clock)\b")
+MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b")
+LEGACY_RE = re.compile(r"\bBatchJob\b")
+PRINTF_RE = re.compile(
+    r"\b(printf|fprintf|sprintf|vprintf|vfprintf|vsprintf|puts|putchar)\s*\(")
+
+TOKEN_RULES = [
+    ("steady-clock",
+     "system_clock/high_resolution_clock outside support/stopwatch.hpp",
+     None,
+     {os.path.join("src", "support", "stopwatch.hpp")},
+     CLOCK_RE,
+     "use the steady-clock Stopwatch (support/stopwatch.hpp); wall clocks "
+     "make timings incomparable"),
+    ("raw-mutex",
+     "raw std::mutex/lock/condition_variable outside support/mutex.hpp",
+     None,
+     {os.path.join("src", "support", "mutex.hpp")},
+     MUTEX_RE,
+     "use the annotated Mutex/LockGuard/CondVar from support/mutex.hpp so "
+     "-Wthread-safety can check the locking"),
+    ("legacy-api",
+     "BatchJob in library code outside its documented shims",
+     ("src",),
+     {os.path.join("src", "api", "request.hpp"),
+      os.path.join("src", "api", "scheduler_service.hpp"),
+      os.path.join("src", "api", "scheduler_service.cpp"),
+      os.path.join("src", "api", "solve_batch.hpp"),
+      os.path.join("src", "api", "solve_batch.cpp"),
+      os.path.join("src", "exec", "batch_runner.hpp"),
+      os.path.join("src", "exec", "batch_runner.cpp")},
+     LEGACY_RE,
+     "BatchJob is a documented compatibility shim; new code takes "
+     "SolveRequest/InstanceHandle (API v2)"),
+    ("printf",
+     "printf-family output in library code (snprintf is allowed)",
+     ("src",),
+     set(),
+     PRINTF_RE,
+     "library code must not print; report through return values or "
+     "support/json.hpp / support/table.hpp"),
+]
+
+UNORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\)")
+
+RULE_DOCS = [(rid, doc) for rid, doc, _, _, _, _ in TOKEN_RULES] + [
+    ("unordered-iteration",
+     "range-for over a std::unordered_{map,set} declared in the same file"),
+    ("pragma-once", "every .hpp must contain #pragma once"),
+]
+
+
+def unordered_names(code):
+    """Identifiers declared with an unordered container type in this file.
+    Angle brackets are matched by nesting depth so nested value types
+    (e.g. unordered_map<K, vector<V>>) do not derail the declarator."""
+    names = set()
+    for match in UNORDERED_DECL_RE.finditer(code):
+        i, depth = match.end(), 1
+        while i < len(code) and depth:
+            depth += {"<": 1, ">": -1}.get(code[i], 0)
+            i += 1
+        declarator = re.match(r"\s*([A-Za-z_]\w*)\s*[;={(]", code[i:])
+        if declarator:
+            names.add(declarator.group(1))
+    return names
+
+
+def lint_file(path, rel, strict):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as err:
+        return [Violation(rel, 0, "io", str(err))]
+
+    allows = {}  # line -> set of rule ids (applies to that line and the next)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for kind, rule in DIRECTIVE_RE.findall(line):
+            if kind == "allow":
+                allows.setdefault(lineno, set()).add(rule)
+
+    code = strip_code(text)
+    code_lines = code.splitlines()
+    violations = []
+
+    def allowed(lineno, rule):
+        return (rule in allows.get(lineno, ()) or
+                rule in allows.get(lineno - 1, ()))
+
+    for rule, _doc, scope, allowlist, pattern, message in TOKEN_RULES:
+        if not strict:
+            if scope and not rel.startswith(tuple(s + os.sep for s in scope)):
+                continue
+            if rel in allowlist:
+                continue
+        for lineno, line in enumerate(code_lines, 1):
+            if pattern.search(line) and not allowed(lineno, rule):
+                violations.append(Violation(rel, lineno, rule, message))
+
+    hashed = unordered_names(code)
+    if hashed:
+        for lineno, line in enumerate(code_lines, 1):
+            for match in RANGE_FOR_RE.finditer(line):
+                if match.group(1) in hashed and not allowed(lineno, "unordered-iteration"):
+                    violations.append(Violation(
+                        rel, lineno, "unordered-iteration",
+                        f"'{match.group(1)}' is an unordered container; hash-order "
+                        "iteration leaks nondeterminism into output -- iterate a "
+                        "sorted copy"))
+
+    if rel.endswith((".hpp", ".h", ".hh")) and "#pragma once" not in code:
+        if not any("pragma-once" in rules for rules in allows.values()):
+            violations.append(Violation(
+                rel, 1, "pragma-once", "header is missing #pragma once"))
+
+    return violations
+
+
+def tree_files():
+    for top in SCAN_DIRS:
+        root_dir = os.path.join(REPO_ROOT, top)
+        for dirpath, dirnames, filenames in os.walk(root_dir):
+            rel_dir = os.path.relpath(dirpath, REPO_ROOT)
+            if rel_dir.startswith(FIXTURE_DIR):
+                dirnames[:] = []
+                continue
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def self_test():
+    fixture_root = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    fixtures = sorted(
+        os.path.join(fixture_root, name)
+        for name in os.listdir(fixture_root)
+        if name.endswith(CXX_EXTENSIONS))
+    if not fixtures:
+        print(f"self-test: no fixtures under {FIXTURE_DIR}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in fixtures:
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        expected = sorted(rule for kind, rule in DIRECTIVE_RE.findall(text)
+                          if kind == "expect")
+        got = sorted(v.rule for v in lint_file(path, rel, strict=True))
+        if got == expected:
+            print(f"self-test: {rel}: ok ({', '.join(expected) or 'clean'})")
+        else:
+            failures += 1
+            print(f"self-test: {rel}: expected {expected}, got {got}",
+                  file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv):
+    if "--list-rules" in argv:
+        for rid, doc in RULE_DOCS:
+            print(f"{rid:22} {doc}")
+        return 0
+    if "--self-test" in argv:
+        return self_test()
+
+    strict = bool(argv)
+    if strict:
+        paths = [os.path.abspath(p) for p in argv]
+        missing = [p for p in paths if not os.path.isfile(p)]
+        if missing:
+            print(f"lint_repo.py: no such file: {missing[0]}", file=sys.stderr)
+            return 2
+    else:
+        paths = list(tree_files())
+
+    violations = []
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        violations.extend(lint_file(path, rel, strict))
+
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint_repo.py: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    if not strict:
+        print(f"lint_repo.py: {len(paths)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
