@@ -15,11 +15,23 @@
 // against bench/bench_schema.json, and uploads it -- the perf trajectory of
 // the repo is the sequence of these files.
 //
+// The `contention` pseudo-family is a second phase rather than a grid cell:
+// it sweeps the ShardedSchedulerService across shard counts (1 -> 8) under 8
+// client threads hammering a cache-hit-heavy request mix, records served QPS
+// per shard count, and cross-checks that the outcome bytes are identical at
+// every shard count (the artifact carries the digest; a mismatch fails the
+// run). Total worker threads are held fixed across the sweep, so the rows
+// isolate the serialization cost of the shared service locks -- the thing
+// sharding exists to remove.
+//
 //   ./build/bench/bench_suite --smoke
 //   ./build/bench/bench_suite --rev abc1234 --threads 8 --seeds 8
 //   ./build/bench/bench_suite --solvers mrt,two_phase-ffdh --families uniform,ocean
+//   ./build/bench/bench_suite --families contention   # the shard sweep alone
 //   ./build/bench/bench_suite --list
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -27,9 +39,11 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/scheduler_service.hpp"
+#include "api/sharded_service.hpp"
 #include "graph/task_graph.hpp"
 #include "support/stopwatch.hpp"
 #include "support/parallel_for.hpp"
@@ -44,12 +58,14 @@ namespace {
 
 using namespace malsched;
 
-// v4 (API v2): cases gain a "dedup_join" field (bool; null when the case
-// produced no result) recording whether the service coalesced the case onto
-// a concurrent identical solve instead of dispatching it -- schema and
-// validator updated together. v3 added "cache_hit" and service-path
+// v5 (sharded serving): cases gain "shard" (the contention row's shard
+// count; null for grid cases), "qps" (served requests per second over the
+// contention phase; null for grid cases), and "digest" (hex FNV-1a over the
+// row's canonicalized outcomes -- identical across every shard count by the
+// determinism contract; null for grid cases) -- schema and validator
+// updated together. v4 added "dedup_join"; v3 "cache_hit" and service-path
 // wall_seconds.
-constexpr int kSchemaVersion = 4;
+constexpr int kSchemaVersion = 5;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
@@ -169,6 +185,149 @@ std::vector<FamilyConfig> all_family_configs() {
   return families;
 }
 
+// ------------------------------------------------------- contention phase
+
+/// One row of the shard-count sweep: fixed workload, fixed total workers,
+/// 8 client threads; only the shard count varies.
+struct ContentionRow {
+  unsigned shards{1};
+  unsigned workers_per_shard{1};
+  std::uint64_t requests{0};
+  double wall_seconds{0.0};
+  double qps{0.0};
+  double mean_makespan{0.0};
+  double mean_lower_bound{0.0};
+  double mean_ratio{0.0};
+  std::string digest;  ///< hex FNV-1a over the canonicalized outcomes
+};
+
+/// Canonical-order digest over (makespan, lower_bound, ratio) of every
+/// outcome, formatted with the same %.17g precision JsonWriter emits. Equal
+/// digests across shard counts are the byte-identity proof the artifact
+/// carries: same request sequence, same result bytes, shards be damned.
+std::string contention_digest(const std::vector<std::vector<SolveOutcome>>& per_thread) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](const char* data, int length) {
+    for (int i = 0; i < length; ++i) {
+      hash ^= static_cast<unsigned char>(data[i]);
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  char buffer[96];
+  for (const auto& outcomes : per_thread) {
+    for (const auto& outcome : outcomes) {
+      const int written =
+          std::snprintf(buffer, sizeof buffer, "%.17g|%.17g|%.17g;", outcome.result->makespan,
+                        outcome.result->lower_bound, outcome.result->ratio);
+      mix(buffer, written);
+    }
+  }
+  const int written = std::snprintf(buffer, sizeof buffer, "%016llx",
+                                    static_cast<unsigned long long>(hash));
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+/// Runs the sweep: for each shard count, 8 client threads round-robin a
+/// cache-hit-heavy request mix (every thread touches every instance, offset
+/// so the per-(thread, index) content is a fixed function -- the digest's
+/// canonical order) through a ShardedSchedulerService with the TOTAL worker
+/// count held fixed. Returns one row per shard count; exits 1 from the
+/// caller on digest disagreement.
+std::vector<ContentionRow> run_contention_phase(int tasks, int machines, bool smoke,
+                                                unsigned fill_threads) {
+  constexpr unsigned kClientThreads = 8;
+  const int distinct = smoke ? 8 : 32;
+  const int per_thread = smoke ? 32 : 1024;
+  // Single runs of this phase finish in tens of milliseconds, where OS
+  // scheduling noise swamps the signal; each shard count keeps its
+  // best-of-kReps wall time (the digest must agree across EVERY rep -- a
+  // determinism check, not a statistics one).
+  const int reps = smoke ? 1 : 3;
+
+  // Family-unique seed base (see the sweep families): the contention pool
+  // must collide with nothing else interned by this process.
+  std::vector<InstanceHandle> handles(static_cast<std::size_t>(distinct));
+  parallel_for(handles.size(), [&](std::size_t i) {
+    GeneratorOptions options;
+    options.tasks = tasks;
+    options.machines = machines;
+    handles[i] = InstanceHandle::intern(
+        generate_instance(WorkloadFamily::kUniform, options, 50000 + static_cast<std::uint64_t>(i)));
+  }, fill_threads);
+
+  std::vector<ContentionRow> rows;
+  for (const unsigned shard_count : {1u, 2u, 4u, 8u}) {
+    ContentionRow best;
+    for (int rep = 0; rep < reps; ++rep) {
+      ContentionRow row;
+      row.shards = shard_count;
+      row.workers_per_shard = std::max(1u, kClientThreads / shard_count);
+      row.requests = static_cast<std::uint64_t>(kClientThreads) * per_thread;
+
+      ServiceConfig config;
+      config.threads = row.workers_per_shard;
+      ShardedSchedulerService service(config, shard_count);
+
+      std::vector<std::vector<SolveOutcome>> per_thread_outcomes(kClientThreads);
+      const Stopwatch stopwatch;
+      {
+        std::vector<std::thread> clients;
+        clients.reserve(kClientThreads);
+        for (unsigned t = 0; t < kClientThreads; ++t) {
+          clients.emplace_back([&service, &handles, &per_thread_outcomes, per_thread, distinct,
+                                t] {
+            auto& outcomes = per_thread_outcomes[t];
+            outcomes.reserve(static_cast<std::size_t>(per_thread));
+            for (int i = 0; i < per_thread; ++i) {
+              // Fixed per-(thread, index) content: thread t starts at its own
+              // offset and strides through the pool, so every thread
+              // exercises every instance and the digest order is
+              // deterministic. Closed loop (submit, then wait) -- the shape a
+              // synchronous front end has; steady-state requests are
+              // submit-time cache hits, so per-request cost is the shard's
+              // lock work, the thing the shard count divides.
+              const auto& handle =
+                  handles[static_cast<std::size_t>((static_cast<int>(t) + 3 * i) % distinct)];
+              outcomes.push_back(service.wait(service.submit({"mrt", {}, handle})));
+            }
+          });
+        }
+        for (auto& client : clients) client.join();
+      }
+      row.wall_seconds = stopwatch.seconds();
+      row.qps = row.wall_seconds > 0 ? static_cast<double>(row.requests) / row.wall_seconds : 0.0;
+
+      Summary makespans;
+      Summary lower_bounds;
+      Summary ratios;
+      for (const auto& outcomes : per_thread_outcomes) {
+        for (const auto& outcome : outcomes) {
+          if (outcome.status != SolveStatus::kOk || !outcome.result) {
+            std::cerr << "contention: request failed at " << shard_count
+                      << " shards: " << outcome.error.detail << "\n";
+            std::exit(1);
+          }
+          makespans.add(outcome.result->makespan);
+          lower_bounds.add(outcome.result->lower_bound);
+          ratios.add(outcome.result->ratio);
+        }
+      }
+      row.mean_makespan = makespans.mean();
+      row.mean_lower_bound = lower_bounds.mean();
+      row.mean_ratio = ratios.mean();
+      row.digest = contention_digest(per_thread_outcomes);
+      if (!best.digest.empty() && best.digest != row.digest) {
+        std::cerr << "contention: digest disagreement between reps at " << shard_count
+                  << " shards: " << best.digest << " vs " << row.digest << "\n";
+        std::exit(1);
+      }
+      if (best.digest.empty() || row.qps > best.qps) best = std::move(row);
+    }
+    rows.push_back(std::move(best));
+  }
+  return rows;
+}
+
 template <typename Config>
 std::vector<Config> select(const std::vector<Config>& all, const std::string& csv,
                            const char* what) {
@@ -204,6 +363,8 @@ void print_usage(std::ostream& out) {
       "  --threads N        batch worker threads, 0 = cores   [0]\n"
       "  --solvers CSV      subset of solver configs          [all]\n"
       "  --families CSV     subset of workload families       [all]\n"
+      "                     ('contention' selects the shard-count sweep,\n"
+      "                     which otherwise runs after the full grid)\n"
       "  --rev STR          revision stamp for the artifact   [local]\n"
       "  --out FILE         output path                       [BENCH_<rev>.json]\n"
       "  --list             print solver configs and families, then exit\n";
@@ -283,6 +444,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "families:\n";
       for (const auto& family : all_family_configs()) std::cout << "  " << family.name << "\n";
+      std::cout << "  contention  (shard-count sweep phase; see the header comment)\n";
       // Per-solver option help straight from the registry's OptionSpec
       // tables -- the same source the CLI and the validation path use.
       std::cout << "solver options:\n";
@@ -307,7 +469,27 @@ int main(int argc, char** argv) {
   if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
 
   const auto solvers = select(all_solver_configs(), solvers_csv, "solver config");
-  const auto families = select(all_family_configs(), families_csv, "family");
+  // `contention` is selected like a family but runs as its own phase (it
+  // sweeps shard counts over one fixed workload instead of joining the
+  // solver x family grid): peel it out of the CSV before grid selection.
+  // With no --families at all, both the grid and the phase run.
+  bool run_contention = families_csv.empty();
+  std::string grid_families_csv;
+  {
+    std::stringstream stream(families_csv);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (token == "contention") {
+        run_contention = true;
+      } else {
+        grid_families_csv += (grid_families_csv.empty() ? "" : ",") + token;
+      }
+    }
+  }
+  const bool run_grid = families_csv.empty() || !grid_families_csv.empty();
+  const auto families = run_grid
+      ? select(all_family_configs(), grid_families_csv, "family")
+      : std::vector<FamilyConfig>{};
 
   // Build the full case list up front (stable order: solver, family, seed),
   // then fan it out through the production batch path in one run.
@@ -373,6 +555,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ------------------------------------------------ contention shard sweep
+  std::vector<ContentionRow> contention_rows;
+  if (run_contention) {
+    contention_rows = run_contention_phase(tasks, machines, smoke, threads);
+    // The determinism contract, enforced: the same request sequence must
+    // produce the same outcome bytes at every shard count.
+    for (const auto& row : contention_rows) {
+      if (row.digest != contention_rows.front().digest) {
+        std::cerr << "contention: outcome digest at " << row.shards << " shards ("
+                  << row.digest << ") differs from " << contention_rows.front().shards
+                  << " shards (" << contention_rows.front().digest
+                  << ") -- sharding changed the results\n";
+        return 1;
+      }
+    }
+    ok_count += contention_rows.size();  // each row is one artifact case
+  }
+
   // ------------------------------------------------------------- artifact
   JsonWriter json;
   json.begin_object();
@@ -434,8 +634,43 @@ int main(int argc, char** argv) {
         json.key(field);
         json.null_value();
       }
-      if (!outcome.error.empty()) json.kv("error", outcome.error);
+      if (!outcome.error.empty()) {
+        // v5: machine-readable error class next to the message text.
+        json.kv("error_code", to_string(outcome.error.code));
+        json.kv("error", outcome.error.detail);
+      }
     }
+    // v5 contention-row fields; null on grid cases.
+    for (const char* field : {"shard", "qps", "digest"}) {
+      json.key(field);
+      json.null_value();
+    }
+    json.end_object();
+  }
+  // v5: one case per contention shard count. The metric means are computed
+  // over the full request stream, so they are identical across the rows (the
+  // digest proves it at full precision); qps is the row's signal.
+  for (const auto& row : contention_rows) {
+    json.begin_object();
+    json.kv("solver", "mrt");
+    json.kv("config", "contention");
+    json.kv("options", "");
+    json.kv("family", "contention");
+    json.kv("seed", 50000);
+    json.kv("tasks", tasks);
+    json.kv("machines", machines);
+    json.kv("status", "ok");
+    json.kv("makespan", row.mean_makespan);
+    json.kv("lower_bound", row.mean_lower_bound);
+    json.kv("ratio", row.mean_ratio);
+    json.kv("wall_seconds", row.wall_seconds);
+    for (const char* field : {"iterations", "allocations", "cache_hit", "dedup_join"}) {
+      json.key(field);
+      json.null_value();
+    }
+    json.kv("shard", row.shards);
+    json.kv("qps", row.qps);
+    json.kv("digest", row.digest);
     json.end_object();
   }
   json.end_array();
@@ -485,11 +720,26 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  if (!contention_rows.empty()) {
+    std::cout << "\ncontention: 8 client threads, " << contention_rows.front().requests
+              << " requests over " << (smoke ? 8 : 32)
+              << " instances (mrt, cache-hit heavy), total workers fixed; outcome digest "
+              << contention_rows.front().digest << " identical at every shard count\n";
+    Table sweep({"shards", "workers/shard", "wall s", "qps", "speedup"});
+    const double base_qps = contention_rows.front().qps;
+    for (const auto& row : contention_rows) {
+      sweep.add_row({cell(static_cast<int>(row.shards)),
+                     cell(static_cast<int>(row.workers_per_shard)), cell(row.wall_seconds, 3),
+                     cell(row.qps, 0), cell(base_qps > 0 ? row.qps / base_qps : 0.0, 2) + "x"});
+    }
+    sweep.print(std::cout);
+  }
+
   if (error_count > 0) {
     std::cerr << "\n" << error_count << " case(s) failed:\n";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       if (outcomes[i].status == BatchItemStatus::kError) {
-        std::cerr << "  case " << i << ": " << outcomes[i].error << "\n";
+        std::cerr << "  case " << i << ": " << outcomes[i].error.detail << "\n";
       }
     }
     return 1;

@@ -2,22 +2,29 @@
 """Diff two bench_suite artifacts (BENCH_<rev>.json) cell by cell.
 
 Standard library only, like validate_bench_json.py. Cases are grouped into
-(config, family) cells; for every cell present in both artifacts the mean
-wall-clock, mean makespan ratio, and served fraction (solve-cache hits plus
-v4 in-flight dedup joins -- both answer a case without dispatching a fresh
-solve) are compared, and the wall-clock delta is judged against a
-regression threshold (default +20%). Cells that exist in only one artifact
-are listed but never fail the run (new solvers/families join the sweep over
-time), and older artifacts (v1: no per-case counters; v2: no cache_hit;
-v3: no dedup_join) compare fine against v4 ones -- missing fields read as
-absent/zero.
+(config, family, shard) cells -- shard is the v5 contention-phase shard
+count, None for grid cases, so each shard count of the contention sweep is
+its own cell and a QPS change at 8 shards is never averaged away against
+1 shard. For every cell present in both artifacts the mean wall-clock, mean
+makespan ratio, and served fraction (solve-cache hits plus v4 in-flight
+dedup joins -- both answer a case without dispatching a fresh solve) are
+compared, and the wall-clock delta is judged against a regression threshold
+(default +20%). Cells that exist in only one artifact are listed but never
+fail the run (new solvers/families join the sweep over time), and older
+artifacts (v1: no per-case counters; v2: no cache_hit; v3: no dedup_join;
+v4: no shard) compare fine against v5 ones -- missing fields read as
+absent/zero/None.
 
 Cells whose baseline mean wall-clock sits below the --min-wall floor
 (default 100 us) are printed but never flagged: at that scale the delta is
 timer and scheduler noise, not a regression signal. Cells whose served
 fraction CHANGED between the runs are annotated and exempted too: a wall
 delta caused by more (or fewer) cache hits / dedup joins reflects serving
-behavior, not solver performance.
+behavior, not solver performance. Shard-bearing (contention) cells are
+likewise printed but never flagged: they are closed-loop throughput sweeps
+whose wall time tracks host load and core count, and their artifact
+contract is the outcome digest (enforced by bench_suite itself), not the
+wall clock.
 
 Exit status: 0 when no cell regressed, 1 on a wall-clock regression beyond
 the threshold, 2 on usage/IO errors. CI runs this informationally
@@ -32,11 +39,12 @@ import sys
 
 
 def load_cells(path):
-    """(config, family) -> means over ok cases: wall, ratio, served fraction.
+    """(config, family, shard) -> means over ok cases: wall, ratio, served.
 
     "Served" = cache_hit (v3) or dedup_join (v4): either way the case was
     answered without a fresh dispatch. Absent (older artifacts) or null
     counts as not-served, so pre-cache baselines read as a 0.0 fraction.
+    shard (v5) is None on grid cases; pre-v5 artifacts read as all-None.
     """
     try:
         with open(path, encoding="utf-8") as f:
@@ -48,7 +56,8 @@ def load_cells(path):
     for case in artifact.get("cases", []):
         if case.get("status") != "ok" or case.get("wall_seconds") is None:
             continue
-        key = (case.get("config", case.get("solver", "?")), case.get("family", "?"))
+        key = (case.get("config", case.get("solver", "?")), case.get("family", "?"),
+               case.get("shard"))
         cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "hits": 0.0, "count": 0})
         cell["wall"] += case["wall_seconds"]
         cell["ratio"] += case.get("ratio") or 0.0
@@ -90,7 +99,14 @@ def main(argv):
 
     base_rev, base = load_cells(paths[0])
     new_rev, new = load_cells(paths[1])
-    shared = sorted(set(base) & set(new))
+
+    def sort_key(key):
+        return (key[0], key[1], -1 if key[2] is None else key[2])
+
+    def fam_label(key):
+        return f"{key[1]}@s{key[2]}" if key[2] is not None else key[1]
+
+    shared = sorted(set(base) & set(new), key=sort_key)
     if not shared:
         print("no (config, family) cells in common; nothing to compare", file=sys.stderr)
         return 2
@@ -110,19 +126,20 @@ def main(argv):
         delta = (new_cell["wall"] - old_cell["wall"]) / old_cell["wall"] \
             if old_cell["wall"] > 0 else 0.0
         hits_changed = abs(new_cell["hits"] - old_cell["hits"]) > 1e-9
-        regressed = delta > threshold and old_cell["wall"] >= min_wall and not hits_changed
+        regressed = (delta > threshold and old_cell["wall"] >= min_wall and not hits_changed
+                     and key[2] is None)
         flag = " <-- REGRESSION" if regressed else ""
         if hits_changed and delta > threshold:
             flag = " (wall delta tracks served-fraction change; exempt)"
         if regressed:
             regressions.append(key)
-        print(f"{key[0]:<18} {key[1]:<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "
+        print(f"{key[0]:<18} {fam_label(key):<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "
               f"{delta:>+7.1%} {old_cell['ratio']:>10.4f} {new_cell['ratio']:>10.4f} "
               f"{old_cell['hits']:>8.0%} {new_cell['hits']:>8.0%}{flag}")
-    for key in sorted(set(base) - set(new)):
-        print(f"{key[0]:<18} {key[1]:<16} (only in baseline)")
-    for key in sorted(set(new) - set(base)):
-        print(f"{key[0]:<18} {key[1]:<16} (only in new run)")
+    for key in sorted(set(base) - set(new), key=sort_key):
+        print(f"{key[0]:<18} {fam_label(key):<16} (only in baseline)")
+    for key in sorted(set(new) - set(base), key=sort_key):
+        print(f"{key[0]:<18} {fam_label(key):<16} (only in new run)")
 
     if regressions:
         print(f"\n{len(regressions)} cell(s) regressed more than +{threshold:.0%} wall-clock",

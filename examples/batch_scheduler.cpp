@@ -88,8 +88,8 @@ int main() {
     const auto lpt = service.wait(tickets[static_cast<std::size_t>(3 * snapshot + 2)]);
     if (mrt.status != BatchItemStatus::kOk || half.status != BatchItemStatus::kOk ||
         lpt.status != BatchItemStatus::kOk) {
-      std::cerr << "snapshot " << snapshot << " failed: " << mrt.error << half.error
-                << lpt.error << "\n";
+      std::cerr << "snapshot " << snapshot << " failed: " << mrt.error.detail << half.error.detail
+                << lpt.error.detail << "\n";
       return 1;
     }
     const double util = 100.0 * utilization(mrt.result->schedule, instance);

@@ -1,5 +1,7 @@
 #include "api/request.hpp"
 
+#include <stdexcept>
+
 namespace malsched {
 
 std::string to_string(SolveStatus status) {
@@ -9,6 +11,24 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kCancelled: return "cancelled";
   }
   return "unknown";
+}
+
+std::string to_string(SolveErrorCode code) {
+  switch (code) {
+    case SolveErrorCode::kNone: return "none";
+    case SolveErrorCode::kInvalidOption: return "invalid_option";
+    case SolveErrorCode::kCancelled: return "cancelled";
+    case SolveErrorCode::kSolverFailure: return "solver_failure";
+    case SolveErrorCode::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+SolveError classify_solve_exception(const std::exception& err) {
+  if (dynamic_cast<const std::invalid_argument*>(&err) != nullptr) {
+    return {SolveErrorCode::kInvalidOption, err.what()};
+  }
+  return {SolveErrorCode::kSolverFailure, err.what()};
 }
 
 }  // namespace malsched

@@ -37,6 +37,43 @@ enum class SolveStatus {
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 
+/// Why a request failed to produce a result. Machine-readable so callers can
+/// branch (retry vs. fix-the-request vs. give-up) without parsing message
+/// text; the human-readable specifics live in SolveError::detail.
+enum class SolveErrorCode {
+  kNone,           ///< no error (status == kOk)
+  kInvalidOption,  ///< rejected before dispatch: unknown solver, unknown
+                   ///< option key, or a value outside its declared spec
+  kCancelled,      ///< cancelled by the caller (cancel(), CancelToken,
+                   ///< stop_on_error) before or during the solve
+  kSolverFailure,  ///< the dispatched solver threw
+  kShutdown,       ///< cancelled because the service shut down with the
+                   ///< request still pending
+};
+
+/// "none", "invalid_option", "cancelled", "solver_failure", "shutdown" --
+/// the spellings batch_json serializes as `error_code`.
+[[nodiscard]] std::string to_string(SolveErrorCode code);
+
+/// Typed error attached to a terminal SolveOutcome / BatchItem. `detail`
+/// carries the exception text (or is empty for plain cancellations); it is
+/// what the pre-v2.1 string-only `error` field used to hold.
+struct SolveError {
+  SolveErrorCode code{SolveErrorCode::kNone};
+  std::string detail;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return code == SolveErrorCode::kNone && detail.empty();
+  }
+};
+
+/// Maps a caught exception to the taxonomy: std::invalid_argument (the
+/// registry's rejection type for unknown solvers/options and the option
+/// validators' for bad values) becomes kInvalidOption, anything else
+/// kSolverFailure. Shared by the batch engine and the service so equal
+/// failures classify identically everywhere.
+[[nodiscard]] SolveError classify_solve_exception(const std::exception& err);
+
 struct SolveRequest {
   /// Default = empty request (invalid handle); exists so containers and
   /// slots stay default-constructible. Every consuming API rejects it.
@@ -64,14 +101,20 @@ struct SolveOutcome {
   std::uint64_t ticket{0};  ///< service ticket / batch index that produced it
   SolveStatus status{SolveStatus::kCancelled};
   std::optional<SolverResult> result;  ///< engaged iff status == kOk
-  std::string error;                   ///< non-empty iff status == kError
+  /// Typed error; code != kNone iff status != kOk. `error.detail` holds the
+  /// message text the pre-v2.1 string field carried.
+  SolveError error;
 
   // ------------------------------------------------------------ provenance
   bool cache_hit{false};   ///< served from the solve cache, no dispatch
   bool dedup_join{false};  ///< coalesced onto a concurrent identical solve
   /// Pool worker that produced (or served) the result; -1 when the outcome
-  /// was produced off-pool (cancellation, shutdown).
+  /// was produced off-pool (cancellation, shutdown, or a submit-time cache
+  /// hit served inline on the submitting thread).
   int worker{-1};
+  /// ShardedSchedulerService shard that served the request; -1 when the
+  /// outcome came from an unsharded tier (plain service, closed batch).
+  int shard{-1};
   /// Worker-observed seconds from dequeue to completion (steady clock);
   /// near-zero for cache hits, and for dedup joins the time spent waiting on
   /// the leader -- the serving-path latency, as opposed to

@@ -59,11 +59,23 @@ void release_request_payload(SolveRequest& request) {
 
 }  // namespace
 
-SchedulerService::SchedulerService(ServiceOptions options)
-    : options_(options),
-      registry_(options.registry != nullptr ? options.registry : &SolverRegistry::global()),
-      cache_(cache_config(options)),
-      pool_(options.threads) {}
+namespace {
+
+/// Comma in the member initializer list is the earliest point after
+/// ensure_valid() can run; this keeps the check ahead of every member that
+/// consumes a config field (cache capacity, pool thread count).
+const ServiceConfig& validated(const ServiceConfig& config) {
+  config.ensure_valid();
+  return config;
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceConfig config)
+    : options_(validated(config)),
+      registry_(config.registry != nullptr ? config.registry : &SolverRegistry::global()),
+      cache_(cache_config(config)),
+      pool_(config.threads) {}
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
@@ -77,7 +89,8 @@ void SchedulerService::on_result(ResultCallback callback) {
   callback_ = std::move(callback);
 }
 
-JobTicket SchedulerService::enqueue_locked(SolveRequest request) {
+JobTicket SchedulerService::enqueue_locked(SolveRequest request,
+                                           std::optional<SolveOutcome> ready) {
   if (!accepting_) {
     throw std::runtime_error("SchedulerService: submit() after shutdown()");
   }
@@ -85,8 +98,19 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request) {
     throw std::invalid_argument("SchedulerService: submit() with an empty InstanceHandle");
   }
   const std::uint64_t id = slots_.size();
-  slots_.push_back(Slot{std::move(request), JobState::kQueued, SolveOutcome{}, false, false});
   ++stats_.submitted;
+  if (ready.has_value()) {
+    // Submit-time cache hit: the slot is born terminal -- no closure is ever
+    // posted, so a hit costs lock work on the calling thread instead of two
+    // context switches through the pool. The caller runs deliver_ready()
+    // after unlocking (the stream must never fire under mutex_).
+    ready->ticket = id;
+    release_request_payload(request);
+    slots_.push_back(Slot{std::move(request), JobState::kDone, std::move(*ready), false, false});
+    count_terminal_locked(slots_.back().outcome.status);
+    return JobTicket{id};
+  }
+  slots_.push_back(Slot{std::move(request), JobState::kQueued, SolveOutcome{}, false, false});
   // Posting under the state lock is safe (the pool never calls back into the
   // service while holding its own lock) and makes accepting_ imply a live
   // pool, so this post cannot throw.
@@ -94,9 +118,39 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request) {
   return JobTicket{id};
 }
 
+std::optional<SolveOutcome> SchedulerService::peek_cache(const SolveRequest& request) {
+  if (!request.use_cache || !cache_.enabled() || !request.instance.valid()) return std::nullopt;
+  const Stopwatch stopwatch;
+  // Same zero-rehash key as run_job; the probe never touches mutex_ (the
+  // cache mutex is a leaf lock), so concurrent submitters only contend on
+  // the cache itself. count_miss=false: on a miss the dispatch-time lookup
+  // is the authoritative (counted) one.
+  const SolveCache::Key key =
+      SolveCache::make_key(request.solver, request.options, request.instance);
+  const auto cached = cache_.lookup(key, /*count_miss=*/false);
+  if (cached == nullptr) return std::nullopt;
+  SolveOutcome outcome;
+  outcome.status = SolveStatus::kOk;
+  outcome.result = *cached;  // copied outside the cache lock
+  outcome.cache_hit = true;
+  outcome.worker = WorkerPool::current_worker();  // -1: served off-pool
+  outcome.wall_seconds = stopwatch.seconds();
+  return outcome;
+}
+
 JobTicket SchedulerService::submit(SolveRequest request) {
-  const LockGuard lock(mutex_);
-  return enqueue_locked(std::move(request));
+  std::optional<SolveOutcome> ready = peek_cache(request);
+  const bool hit = ready.has_value();
+  JobTicket ticket;
+  {
+    const LockGuard lock(mutex_);
+    ticket = enqueue_locked(std::move(request), std::move(ready));
+  }
+  if (hit) {
+    done_cv_.notify_all();
+    deliver_ready();
+  }
+  return ticket;
 }
 
 std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> requests) {
@@ -109,14 +163,30 @@ std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> reques
                                   " carries an empty InstanceHandle");
     }
   }
+  // Probe the cache for every request before taking the state lock: the
+  // peeks are pure reads of a leaf lock, and doing them all up front keeps
+  // the enqueue loop itself O(requests) under one mutex_ hold.
+  std::vector<std::optional<SolveOutcome>> ready;
+  ready.reserve(requests.size());
+  bool any_hit = false;
+  for (const auto& request : requests) {
+    ready.push_back(peek_cache(request));
+    any_hit = any_hit || ready.back().has_value();
+  }
   std::vector<JobTicket> tickets;
   tickets.reserve(requests.size());
-  const LockGuard lock(mutex_);
-  if (!accepting_) {
-    throw std::runtime_error("SchedulerService: submit() after shutdown()");
+  {
+    const LockGuard lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("SchedulerService: submit() after shutdown()");
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      tickets.push_back(enqueue_locked(std::move(requests[i]), std::move(ready[i])));
+    }
   }
-  for (auto& request : requests) {
-    tickets.push_back(enqueue_locked(std::move(request)));
+  if (any_hit) {
+    done_cv_.notify_all();
+    deliver_ready();
   }
   return tickets;
 }
@@ -210,10 +280,10 @@ void SchedulerService::run_job(std::uint64_t id) {
     outcome.status = SolveStatus::kOk;
   } catch (const std::exception& err) {
     outcome.status = SolveStatus::kError;
-    outcome.error = err.what();
+    outcome.error = classify_solve_exception(err);
   } catch (...) {
     outcome.status = SolveStatus::kError;
-    outcome.error = "non-standard exception";
+    outcome.error = {SolveErrorCode::kSolverFailure, "non-standard exception"};
   }
   if (outcome.status == SolveStatus::kOk && use_cache) {
     cache_.insert(*key, *outcome.result);
@@ -372,8 +442,8 @@ void SchedulerService::maybe_reclaim_locked(std::uint64_t id) {
   if (id >= next_delivery_) return;  // not yet delivered to the stream
   if (in_callback_.has_value() && *in_callback_ == id) return;  // being read right now
   slot.outcome.result.reset();
-  slot.outcome.error.clear();
-  slot.outcome.error.shrink_to_fit();
+  slot.outcome.error.detail.clear();
+  slot.outcome.error.detail.shrink_to_fit();
   slot.reclaimed = true;
   ++stats_.slots_reclaimed;
 }
@@ -431,6 +501,7 @@ bool SchedulerService::cancel(JobTicket ticket) {
     slot.state = JobState::kDone;
     slot.outcome.ticket = ticket.id;
     slot.outcome.status = SolveStatus::kCancelled;
+    slot.outcome.error.code = SolveErrorCode::kCancelled;
     release_request_payload(slot.request);
     ++stats_.cancelled;
     // The posted closure still sits in the pool queue; run_job sees the
@@ -457,6 +528,8 @@ void SchedulerService::shutdown() {
       slot.state = JobState::kDone;
       slot.outcome.ticket = id;
       slot.outcome.status = SolveStatus::kCancelled;
+      slot.outcome.error = {SolveErrorCode::kShutdown,
+                            "service shut down before the job started"};
       release_request_payload(slot.request);
       ++stats_.cancelled;
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "api/request.hpp"
+#include "api/service_config.hpp"
 #include "api/solve_cache.hpp"
 #include "exec/batch_runner.hpp"
 #include "exec/worker_pool.hpp"
@@ -40,9 +41,16 @@
 ///  * **Content-addressed solve cache** -- completed results are memoized
 ///    under the interned fingerprint + solver + canonical options (see
 ///    SolveCache; eviction by capacity, byte budget, and TTL, each counted).
-///    A hit returns the memoized result without dispatching. Because the
-///    fingerprint was computed once at InstanceHandle::intern, the submit
-///    path never re-reads profile bits -- audited by a hash-count test.
+///    A hit returns the memoized result without dispatching -- and since
+///    v2.1, without the worker round trip either: submit() probes the cache
+///    on the calling thread and a hit creates the slot already terminal
+///    (the hit's `worker` is -1, off-pool), so a hit-heavy client never
+///    pays two context switches per request. A submit-time miss is not
+///    counted (the dispatch-time lookup still runs and counts), so every
+///    cache-consulting request counts exactly one hit or one miss. Because
+///    the fingerprint was computed once at InstanceHandle::intern, the
+///    submit path never re-reads profile bits -- audited by a hash-count
+///    test.
 ///  * **In-flight dedup** -- a cache-consulting request that misses while an
 ///    IDENTICAL request (same fingerprint, solver, canonical options) is
 ///    already being solved does not dispatch a second solve: it registers as
@@ -67,7 +75,8 @@
 /// reuses its workspace (that saving is what they measure).
 ///
 /// Callback rules: on_result fires on a worker thread (or inside cancel()/
-/// shutdown() on the calling thread) while no internal state lock is held;
+/// shutdown()/submit() -- the latter on a submit-time cache hit -- on the
+/// calling thread) while no internal state lock is held;
 /// it may call poll()/state()/stats()/cancel()/submit() (re-entrant
 /// delivery is handled by a rescan protocol), but must NOT call wait(),
 /// drain(), or shutdown() -- blocking inside the delivery path deadlocks
@@ -89,26 +98,11 @@
 /// take-once value.
 namespace malsched {
 
-struct ServiceOptions {
-  /// Worker threads; 0 = hardware_concurrency.
-  unsigned threads{0};
-  /// Master switch for the solve cache; `cache_capacity` entries when on.
-  bool cache{true};
-  std::size_t cache_capacity{1024};
-  /// Approximate cache byte budget; 0 = unlimited (see SolveCacheConfig).
-  std::size_t cache_max_bytes{0};
-  /// Cache entry time-to-live in seconds; 0 = never expires.
-  double cache_ttl_seconds{0.0};
-  /// Coalesce concurrent identical cache-consulting misses onto one solve.
-  bool dedup{true};
-  /// Reclaim outcome payloads once delivered AND observed (see Retention).
-  bool gc_slots{false};
-  /// Reuse per-worker DualWorkspaces across same-instance cache misses.
-  bool reuse_workspaces{true};
-  /// Registry to dispatch through; nullptr = the global one. Must outlive
-  /// the service and not be mutated while it runs.
-  const SolverRegistry* registry{nullptr};
-};
+/// Pre-v2.1 name for the service configuration; ServiceConfig
+/// (api/service_config.hpp) is the one aggregate both serving tiers take,
+/// with defaults and validate(). Documented shim, same policy as the
+/// BatchJob shims -- don't extend it.
+using ServiceOptions = ServiceConfig;
 
 /// Opaque handle to one submitted job; tickets are dense and increase in
 /// submission order (ticket order IS delivery order).
@@ -164,7 +158,9 @@ class SchedulerService {
  public:
   using ResultCallback = std::function<void(const SolveOutcome&)>;
 
-  explicit SchedulerService(ServiceOptions options = {});
+  /// Throws std::invalid_argument when `config.validate()` reports
+  /// violations (the message lists all of them).
+  explicit SchedulerService(ServiceConfig config = {});
   ~SchedulerService();  // shutdown()
 
   SchedulerService(const SchedulerService&) = delete;
@@ -247,7 +243,17 @@ class SchedulerService {
     std::vector<Joiner> joiners;
   };
 
-  JobTicket enqueue_locked(SolveRequest request) MALSCHED_REQUIRES(mutex_);
+  /// With `ready` engaged (a submit-time cache hit), the slot is born
+  /// terminal: no closure is posted, and the caller must run deliver_ready()
+  /// after releasing the mutex.
+  JobTicket enqueue_locked(SolveRequest request, std::optional<SolveOutcome> ready = std::nullopt)
+      MALSCHED_REQUIRES(mutex_);
+  /// Submit-time cache fast path: probes the solve cache on the CALLING
+  /// thread for a cache-consulting request and returns the ready outcome on
+  /// a hit (no worker round trip). Misses are not counted here -- see
+  /// SolveCache::lookup(key, count_miss).
+  [[nodiscard]] std::optional<SolveOutcome> peek_cache(const SolveRequest& request)
+      MALSCHED_EXCLUDES(mutex_);
   void run_job(std::uint64_t id) MALSCHED_EXCLUDES(mutex_);
   void finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
               const SolveCache::Key* inflight_key) MALSCHED_EXCLUDES(mutex_);
@@ -256,7 +262,7 @@ class SchedulerService {
   void maybe_reclaim_locked(std::uint64_t id) MALSCHED_REQUIRES(mutex_);
   void count_terminal_locked(SolveStatus status) MALSCHED_REQUIRES(mutex_);
 
-  ServiceOptions options_;
+  ServiceConfig options_;
   const SolverRegistry* registry_;
   SolveCache cache_;  ///< internally synchronized (own mutex)
 

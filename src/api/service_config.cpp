@@ -1,0 +1,40 @@
+#include "api/service_config.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace malsched {
+
+std::vector<std::string> ServiceConfig::validate() const {
+  std::vector<std::string> errors;
+  if (threads > kMaxThreads) {
+    errors.push_back("threads = " + std::to_string(threads) + " exceeds the sanity ceiling of " +
+                     std::to_string(kMaxThreads) +
+                     " (did a negative count wrap through unsigned?)");
+  }
+  if (std::isnan(cache_ttl_seconds) || std::isinf(cache_ttl_seconds)) {
+    errors.push_back("cache_ttl_seconds must be finite (0 means never expires)");
+  } else if (cache_ttl_seconds < 0.0) {
+    errors.push_back("cache_ttl_seconds = " + std::to_string(cache_ttl_seconds) +
+                     " is negative; use 0 for never-expires");
+  }
+  if (cache && cache_capacity == 0) {
+    errors.push_back(
+        "cache is enabled but cache_capacity is 0 (a zero entry budget disables it "
+        "silently); set cache = false to run without a cache, or give it a capacity");
+  }
+  return errors;
+}
+
+void ServiceConfig::ensure_valid() const {
+  const std::vector<std::string> errors = validate();
+  if (errors.empty()) return;
+  std::string message = "invalid ServiceConfig:";
+  for (const std::string& error : errors) {
+    message += "\n  * " + error;
+  }
+  throw std::invalid_argument(message);
+}
+
+}  // namespace malsched

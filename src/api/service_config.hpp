@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// ServiceConfig: the ONE configuration aggregate for the serving tier.
+///
+/// Both tiers construct from it identically -- `SchedulerService(config)`
+/// and `ShardedSchedulerService(config, shards)` (where `config` describes
+/// EACH shard: per-shard worker threads, per-shard cache budget). Before
+/// v2.1 these knobs lived in a growing `ServiceOptions` pile with no
+/// validation: a nonsensical combination (negative TTL, cache enabled with a
+/// zero entry budget) silently produced a service that behaved like a
+/// different configuration. ServiceConfig keeps the same fields and
+/// defaults -- `ServiceOptions` remains as a documented alias, so existing
+/// call sites compile unchanged -- and adds validate(): services call
+/// ensure_valid() at construction and reject bad configs with one readable
+/// std::invalid_argument listing EVERY violation, not just the first.
+namespace malsched {
+
+class SolverRegistry;
+
+struct ServiceConfig {
+  /// Worker threads (per shard for the sharded tier); 0 = hardware_concurrency.
+  unsigned threads{0};
+  /// Master switch for the solve cache; `cache_capacity` entries when on.
+  bool cache{true};
+  std::size_t cache_capacity{1024};
+  /// Approximate cache byte budget; 0 = unlimited (see SolveCacheConfig).
+  std::size_t cache_max_bytes{0};
+  /// Cache entry time-to-live in seconds; 0 = never expires.
+  double cache_ttl_seconds{0.0};
+  /// Coalesce concurrent identical cache-consulting misses onto one solve.
+  bool dedup{true};
+  /// Reclaim outcome payloads once delivered AND observed (see the service
+  /// Retention contract).
+  bool gc_slots{false};
+  /// Reuse per-worker DualWorkspaces across same-instance cache misses.
+  bool reuse_workspaces{true};
+  /// Registry to dispatch through; nullptr = the global one. Must outlive
+  /// the service and not be mutated while it runs.
+  const SolverRegistry* registry{nullptr};
+
+  /// Sanity ceiling for `threads`: far above any real machine, low enough to
+  /// catch a negative count that wrapped through `unsigned`.
+  static constexpr unsigned kMaxThreads = 1024;
+
+  /// Every violation as one readable sentence; empty means valid.
+  /// Checked: `threads` <= kMaxThreads, `cache_ttl_seconds` finite and
+  /// non-negative, and `cache` on implies `cache_capacity` > 0 (a zero
+  /// entry budget silently disables the cache -- say `cache = false`
+  /// instead).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument joining every validate() violation into
+  /// one message; no-op on a valid config. Services call this at
+  /// construction.
+  void ensure_valid() const;
+};
+
+}  // namespace malsched

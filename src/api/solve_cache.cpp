@@ -98,7 +98,7 @@ void SolveCache::erase_locked(EntryList::iterator it) {
   entries_.erase(it);
 }
 
-std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
+std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key, bool count_miss) {
   if (config_.capacity == 0) return nullptr;
   const LockGuard lock(mutex_);
   const auto bucket = index_.find(key.fingerprint);
@@ -117,7 +117,7 @@ std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key) {
       }
     }
   }
-  ++stats_.misses;
+  if (count_miss) ++stats_.misses;
   return nullptr;
 }
 

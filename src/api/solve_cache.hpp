@@ -104,11 +104,18 @@ class SolveCache {
                                     std::shared_ptr<const Instance> instance);
 
   /// The memoized result for `key` (nullptr on miss), refreshing its LRU
-  /// position; counts a hit or a miss. An entry past its TTL is evicted here
-  /// and reported as a miss. Returned as a shared_ptr so callers copy (or
-  /// just read) OUTSIDE the cache lock -- results are immutable once
-  /// inserted, and full SolverResult copies carry whole Schedules.
-  [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key)
+  /// position; counts a hit, and a miss unless `count_miss` is false. An
+  /// entry past its TTL is evicted here and reported as a miss. Returned as
+  /// a shared_ptr so callers copy (or just read) OUTSIDE the cache lock --
+  /// results are immutable once inserted, and full SolverResult copies
+  /// carry whole Schedules.
+  ///
+  /// `count_miss = false` is for opportunistic probes backed by an
+  /// authoritative later lookup (the service's submit-time fast path): the
+  /// request is served here on a hit, but on a miss the dispatch-time
+  /// lookup still runs and counts -- so every cache-consulting request
+  /// counts exactly once, as either one hit or one miss.
+  [[nodiscard]] std::shared_ptr<const SolverResult> lookup(const Key& key, bool count_miss = true)
       MALSCHED_EXCLUDES(mutex_);
 
   /// Memoizes `result` under `key` (idempotent: re-inserting a live key

@@ -56,7 +56,11 @@ void append_item_json(JsonWriter& writer, const BatchItem& item,
   writer.begin_object();
   writer.kv("index", item.index);
   writer.kv("status", to_string(item.status));
-  if (item.status == BatchItemStatus::kError) writer.kv("error", item.error);
+  // v2.1 typed errors: the machine-readable code for every non-ok item, the
+  // human-readable detail (the pre-v2.1 "error" string) only where there is
+  // message text to carry.
+  if (item.status != BatchItemStatus::kOk) writer.kv("error_code", to_string(item.error.code));
+  if (item.status == BatchItemStatus::kError) writer.kv("error", item.error.detail);
   if (item.result) {
     writer.key("result");
     append_result_json(writer, *item.result, options);

@@ -95,6 +95,7 @@ BatchReport BatchRunner::run(const std::vector<SolveRequest>& requests,
     item.index = i;
     if (cancel.cancelled() || aborted.cancelled()) {
       item.status = BatchItemStatus::kCancelled;
+      item.error.code = SolveErrorCode::kCancelled;
       return;
     }
     try {
@@ -102,11 +103,11 @@ BatchReport BatchRunner::run(const std::vector<SolveRequest>& requests,
       item.status = BatchItemStatus::kOk;
     } catch (const std::exception& err) {
       item.status = BatchItemStatus::kError;
-      item.error = err.what();
+      item.error = classify_solve_exception(err);
       if (options_.stop_on_error) aborted.cancel();
     } catch (...) {
       item.status = BatchItemStatus::kError;
-      item.error = "non-standard exception";
+      item.error = {SolveErrorCode::kSolverFailure, "non-standard exception"};
       if (options_.stop_on_error) aborted.cancel();
     }
   };

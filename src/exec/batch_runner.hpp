@@ -80,7 +80,10 @@ struct BatchItem {
   std::size_t index{0};
   BatchItemStatus status{BatchItemStatus::kCancelled};
   std::optional<SolverResult> result;  ///< engaged iff status == kOk
-  std::string error;                   ///< non-empty iff status == kError
+  /// Typed error (api/request.hpp), shared with SolveOutcome; code != kNone
+  /// iff status != kOk. `error.detail` holds the message text the pre-v2.1
+  /// string field carried.
+  SolveError error;
 };
 
 /// Cooperative cancellation flag; copies share one underlying flag, so a

@@ -3,10 +3,13 @@
 #include <atomic>
 #include <bit>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "model/lower_bounds.hpp"
 #include "support/fnv.hpp"
+#include "support/mutex.hpp"
 
 namespace malsched {
 
@@ -64,18 +67,88 @@ bool same_instance_content(const Instance& a, const Instance& b) {
   return true;
 }
 
+/// Interns served by an existing live table entry; audit counter, same
+/// relaxed-delta discipline as hash_count.
+std::atomic<std::uint64_t> intern_hits{0};
+
+/// The process-wide intern table. Buckets are keyed by fingerprint and hold
+/// weak references: the table never keeps an instance alive, it only lets a
+/// later equal-content intern() find a still-live allocation. Dead entries
+/// are pruned as their bucket is revisited (and wholesale by
+/// intern_table_size()).
+struct InternEntry {
+  std::weak_ptr<const Instance> instance;
+  double lower_bound;  ///< makespan_lower_bound, cached so hits skip it
+};
+
+struct InternTable {
+  Mutex mutex;
+  std::unordered_map<std::uint64_t, std::vector<InternEntry>> buckets
+      MALSCHED_GUARDED_BY(mutex);
+};
+
+InternTable& intern_table() {
+  static InternTable table;
+  return table;
+}
+
+struct InternOutcome {
+  std::shared_ptr<const Instance> instance;
+  double lower_bound;
+};
+
+/// Probe-or-insert, atomically (probe and insert under one lock, so two
+/// concurrent equal-content interns always converge on ONE allocation).
+/// `materialize` is called only on a miss and produces the shared instance
+/// to insert -- equal to `content` by construction at both call sites.
+template <typename Materialize>
+InternOutcome intern_or_insert(std::uint64_t fingerprint, const Instance& content,
+                               Materialize&& materialize) {
+  auto& table = intern_table();
+  LockGuard lock(table.mutex);
+  auto& bucket = table.buckets[fingerprint];
+  for (auto it = bucket.begin(); it != bucket.end();) {
+    if (auto live = it->instance.lock()) {
+      if (same_instance_content(*live, content)) {
+        intern_hits.fetch_add(1, std::memory_order_relaxed);
+        return {std::move(live), it->lower_bound};
+      }
+      ++it;
+    } else {
+      it = bucket.erase(it);
+    }
+  }
+  std::shared_ptr<const Instance> shared = materialize();
+  const double lower_bound = makespan_lower_bound(*shared);
+  bucket.push_back({shared, lower_bound});
+  return {std::move(shared), lower_bound};
+}
+
 }  // namespace
 
 InstanceHandle InstanceHandle::intern(Instance instance) {
-  return intern(std::make_shared<const Instance>(std::move(instance)));
+  const std::uint64_t fingerprint = content_fingerprint(instance);
+  // The instance is moved into the allocation only on a table miss; a hit
+  // drops the caller's copy and shares the live allocation.
+  InternOutcome interned = intern_or_insert(fingerprint, instance, [&instance] {
+    return std::make_shared<const Instance>(std::move(instance));
+  });
+  InstanceHandle handle;
+  handle.fingerprint_ = fingerprint;
+  handle.static_lower_bound_ = interned.lower_bound;
+  handle.instance_ = std::move(interned.instance);
+  return handle;
 }
 
 InstanceHandle InstanceHandle::intern(std::shared_ptr<const Instance> instance) {
   if (!instance) throw std::invalid_argument("InstanceHandle: null instance");
+  const std::uint64_t fingerprint = content_fingerprint(*instance);
+  InternOutcome interned =
+      intern_or_insert(fingerprint, *instance, [&instance] { return std::move(instance); });
   InstanceHandle handle;
-  handle.fingerprint_ = content_fingerprint(*instance);
-  handle.static_lower_bound_ = makespan_lower_bound(*instance);
-  handle.instance_ = std::move(instance);
+  handle.fingerprint_ = fingerprint;
+  handle.static_lower_bound_ = interned.lower_bound;
+  handle.instance_ = std::move(interned.instance);
   return handle;
 }
 
@@ -93,6 +166,29 @@ bool operator==(const InstanceHandle& a, const InstanceHandle& b) {
 
 std::uint64_t InstanceHandle::content_hashes() noexcept {
   return hash_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t InstanceHandle::intern_table_hits() noexcept {
+  return intern_hits.load(std::memory_order_relaxed);
+}
+
+std::size_t InstanceHandle::intern_table_size() {
+  auto& table = intern_table();
+  LockGuard lock(table.mutex);
+  std::size_t live = 0;
+  for (auto bucket_it = table.buckets.begin(); bucket_it != table.buckets.end();) {
+    auto& bucket = bucket_it->second;
+    for (auto it = bucket.begin(); it != bucket.end();) {
+      if (it->instance.expired()) {
+        it = bucket.erase(it);
+      } else {
+        ++live;
+        ++it;
+      }
+    }
+    bucket_it = bucket.empty() ? table.buckets.erase(bucket_it) : std::next(bucket_it);
+  }
+  return live;
 }
 
 }  // namespace malsched

@@ -35,9 +35,22 @@
 /// request/slot types stay default-constructible; every API that consumes a
 /// request rejects empty handles up front. intern() never returns one.
 ///
+/// **Process-wide intern table (v2.1).** intern() consults a global table
+/// keyed by fingerprint: interning content that is already live anywhere in
+/// the process returns a handle sharing THAT allocation (and its cached
+/// lower bound -- no recompute), so equal-content handles are
+/// pointer-identical across threads and across ShardedSchedulerService
+/// shards, and operator== takes its pointer fast path. The table holds weak
+/// references only: it never extends an instance's lifetime, and dead
+/// entries are pruned as their buckets are revisited. Each intern() still
+/// hashes the incoming content exactly once (the probe needs the
+/// fingerprint), so the content_hashes() audit contract is unchanged: +1 per
+/// intern(), zero after.
+///
 /// Auditing: content_hashes() counts fingerprint computations process-wide.
 /// The submit-path contract ("zero profile re-hashing after intern") is a
-/// test assertion on this counter, not a comment.
+/// test assertion on this counter, not a comment. intern_table_hits()
+/// counts interns served by an existing live entry.
 namespace malsched {
 
 class InstanceHandle {
@@ -80,6 +93,15 @@ class InstanceHandle {
   /// intern()) -- the hash-count audit hook. Monotone; read-read deltas are
   /// meaningful, absolute values are not.
   [[nodiscard]] static std::uint64_t content_hashes() noexcept;
+
+  /// Process-wide count of intern() calls served by an existing live intern
+  /// table entry (same allocation handed back, lower bound reused). Monotone
+  /// audit counter like content_hashes(): take deltas.
+  [[nodiscard]] static std::uint64_t intern_table_hits() noexcept;
+
+  /// Live (still-referenced) entries in the process-wide intern table; prunes
+  /// dead entries as a side effect. For tests and introspection.
+  [[nodiscard]] static std::size_t intern_table_size();
 
  private:
   std::shared_ptr<const Instance> instance_;

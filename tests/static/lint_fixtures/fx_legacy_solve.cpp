@@ -1,0 +1,16 @@
+// Lint fixture: a new call site using legacy string-name dispatch --
+// solve("name", instance, options) -- instead of building a SolveRequest
+// over an interned InstanceHandle (API v2). The string-literal first
+// argument appears on exactly one code line, so exactly one finding.
+// lint:expect(legacy-api)
+
+struct FixtureRegistry {
+  int solve(const char* name, const struct FixtureInstance& instance) const;
+};
+
+int fixture_dispatch(const FixtureRegistry& registry, const struct FixtureInstance& instance) {
+  return registry.solve("mrt", instance);
+}
+
+// The v2 shape -- a request variable as the only argument -- must NOT trip:
+int fixture_dispatch_v2(const struct FixtureService& service, const struct FixtureRequest& request);

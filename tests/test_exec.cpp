@@ -197,7 +197,8 @@ TEST(BatchRunner, OneThrowingSolveDoesNotPoisonTheBatch) {
       EXPECT_TRUE(report.items[i].result->schedule.complete());
     } else {
       EXPECT_EQ(report.items[i].status, BatchItemStatus::kError);
-      EXPECT_NE(report.items[i].error.find("boom"), std::string::npos);
+      EXPECT_EQ(report.items[i].error.code, SolveErrorCode::kSolverFailure);
+      EXPECT_NE(report.items[i].error.detail.find("boom"), std::string::npos);
       EXPECT_FALSE(report.items[i].result.has_value());
     }
   }
@@ -210,7 +211,8 @@ TEST(BatchRunner, UnknownSolverNameIsIsolatedToo) {
   const auto report = BatchRunner().run(jobs);
   EXPECT_EQ(report.ok, 1u);
   EXPECT_EQ(report.errors, 1u);
-  EXPECT_NE(report.items[1].error.find("unknown solver"), std::string::npos);
+  EXPECT_EQ(report.items[1].error.code, SolveErrorCode::kInvalidOption);
+  EXPECT_NE(report.items[1].error.detail.find("unknown solver"), std::string::npos);
 }
 
 TEST(BatchRunner, StopOnErrorCancelsTheRemainder) {

@@ -325,14 +325,36 @@ TEST(InstanceHandle, InternComputesFingerprintAndBoundExactlyOnce) {
 }
 
 TEST(InstanceHandle, ContentIdentitySurvivesSeparateInterns) {
+  const auto hits_before = InstanceHandle::intern_table_hits();
   const auto a = InstanceHandle::intern(handle_instance());
   const auto b = InstanceHandle::intern(handle_instance());       // same content
   const auto c = InstanceHandle::intern(handle_instance(2.0));    // different
-  EXPECT_NE(a.shared().get(), b.shared().get());
+  // v2.1 process-wide intern table: the second intern of live equal content
+  // shares the first allocation instead of making its own.
+  EXPECT_EQ(a.shared().get(), b.shared().get());
+  EXPECT_GE(InstanceHandle::intern_table_hits(), hits_before + 1);
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
   EXPECT_TRUE(a == b);
   EXPECT_NE(a.fingerprint(), c.fingerprint());
   EXPECT_FALSE(a == c);
+}
+
+TEST(InstanceHandle, InternTableHoldsWeakReferencesOnly) {
+  // Entries die with their last handle: a re-intern after the handles are
+  // gone is a MISS (fresh allocation), and intern_table_size() prunes.
+  Instance probe = handle_instance(3.5);
+  const void* first_allocation = nullptr;
+  {
+    const auto a = InstanceHandle::intern(probe);
+    first_allocation = a.shared().get();
+    EXPECT_GE(InstanceHandle::intern_table_size(), 1u);
+  }
+  const auto hits_before = InstanceHandle::intern_table_hits();
+  const auto b = InstanceHandle::intern(probe);
+  EXPECT_EQ(InstanceHandle::intern_table_hits(), hits_before)
+      << "a dead entry must not count as a hit";
+  EXPECT_TRUE(b.valid());
+  static_cast<void>(first_allocation);  // dead; only proves the scope ended
 }
 
 TEST(InstanceHandle, TaskNamesContributeToTheFingerprint) {

@@ -212,7 +212,8 @@ TEST(SchedulerService, ErrorsAreIsolatedPerJob) {
   const auto good = service.submit({"seq", {}, small_instance(4)});
   const auto failed = service.wait(bad);
   EXPECT_EQ(failed.status, BatchItemStatus::kError);
-  EXPECT_NE(failed.error.find("boom"), std::string::npos);
+  EXPECT_EQ(failed.error.code, SolveErrorCode::kSolverFailure);
+  EXPECT_NE(failed.error.detail.find("boom"), std::string::npos);
   EXPECT_EQ(service.wait(good).status, BatchItemStatus::kOk);
   const auto stats = service.stats();
   EXPECT_EQ(stats.failed, 1u);
@@ -520,7 +521,7 @@ TEST(SchedulerService, ProvenanceStampsWorkerAndServingPath) {
   const auto hit = service.wait(service.submit(request));
   EXPECT_TRUE(hit.cache_hit);
   EXPECT_FALSE(hit.dedup_join);
-  EXPECT_EQ(hit.worker, 0);
+  EXPECT_EQ(hit.worker, -1) << "a submit-time cache hit is served inline, off-pool";
 }
 
 // ------------------------------------------------------- slot garbage collection

@@ -19,8 +19,11 @@ conventions the codebase actually depends on:
                         artifacts; iterate a sorted copy or an index.
   pragma-once           every .hpp must carry #pragma once.
   legacy-api            BatchJob in library code outside its documented
-                        shims. New call sites use SolveRequest +
-                        SchedulerService / solve_batch (API v2).
+                        shims, and legacy solve("name", instance, options)
+                        dispatch (a string-literal solver name as the first
+                        argument) outside the registry itself. New call
+                        sites build a SolveRequest over an interned
+                        InstanceHandle (API v2).
   printf                printf-family output in library code (src/).
                         Library code reports through return values and
                         support/json.hpp|table.hpp; snprintf stays legal
@@ -111,6 +114,11 @@ MUTEX_RE = re.compile(
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock|condition_variable(?:_any)?)\b")
 LEGACY_RE = re.compile(r"\bBatchJob\b")
+# Legacy solve("name", instance, options) dispatch: strip_code() removes
+# string literals entirely, so a string-literal first argument leaves the
+# distinctive `solve(,` remnant this matches. Variable-name first arguments
+# (the v2 request form takes one SolveRequest) never produce it.
+LEGACY_SOLVE_RE = re.compile(r"\bsolve\s*\(\s*,")
 PRINTF_RE = re.compile(
     r"\b(printf|fprintf|sprintf|vprintf|vfprintf|vsprintf|puts|putchar)\s*\(")
 
@@ -142,6 +150,15 @@ TOKEN_RULES = [
      LEGACY_RE,
      "BatchJob is a documented compatibility shim; new code takes "
      "SolveRequest/InstanceHandle (API v2)"),
+    ("legacy-api",
+     "legacy solve(\"name\", ...) dispatch outside the registry shims",
+     ("src",),
+     {os.path.join("src", "api", "solver_registry.hpp"),
+      os.path.join("src", "api", "solver_registry.cpp")},
+     LEGACY_SOLVE_RE,
+     "string-name solve() dispatch is a documented registry shim; build a "
+     "SolveRequest over an interned InstanceHandle (API v2) and call "
+     "solve(request)"),
     ("printf",
      "printf-family output in library code (snprintf is allowed)",
      ("src",),
@@ -154,7 +171,17 @@ TOKEN_RULES = [
 UNORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\)")
 
-RULE_DOCS = [(rid, doc) for rid, doc, _, _, _, _ in TOKEN_RULES] + [
+# One doc line per rule id: a rule implemented by several patterns (like
+# legacy-api) merges its docs with " / ".
+RULE_DOCS = []
+for _rid, _doc, _, _, _, _ in TOKEN_RULES:
+    for entry in RULE_DOCS:
+        if entry[0] == _rid:
+            entry[1] = entry[1] + " / " + _doc
+            break
+    else:
+        RULE_DOCS.append([_rid, _doc])
+RULE_DOCS = [tuple(entry) for entry in RULE_DOCS] + [
     ("unordered-iteration",
      "range-for over a std::unordered_{map,set} declared in the same file"),
     ("pragma-once", "every .hpp must contain #pragma once"),
