@@ -58,14 +58,14 @@ namespace {
 
 using namespace malsched;
 
-// v5 (sharded serving): cases gain "shard" (the contention row's shard
-// count; null for grid cases), "qps" (served requests per second over the
-// contention phase; null for grid cases), and "digest" (hex FNV-1a over the
-// row's canonicalized outcomes -- identical across every shard count by the
-// determinism contract; null for grid cases) -- schema and validator
-// updated together. v4 added "dedup_join"; v3 "cache_hit" and service-path
-// wall_seconds.
-constexpr int kSchemaVersion = 5;
+// v6 (robustness): cases gain "fallback_used" (whether the service answered
+// the case with the configured degradation fallback solver; null on
+// contention rows), the run summary gains "deadline_misses" and "fallbacks"
+// (ServiceStats counters over the grid phase), and error_code admits the new
+// deadline_exceeded/rejected classes. v5 (sharded serving) added the
+// contention-row fields "shard"/"qps"/"digest" (null for grid cases); v4
+// "dedup_join"; v3 "cache_hit" and service-path wall_seconds.
+constexpr int kSchemaVersion = 6;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
@@ -583,6 +583,11 @@ int main(int argc, char** argv) {
   json.kv("ok", ok_count);
   json.kv("errors", error_count);
   json.kv("cancelled", cancelled_count);
+  // v6: robustness counters from the grid-phase service. The suite runs
+  // without deadlines or a degrade policy, so both are zero here unless a
+  // future sweep arms them -- recorded so the artifact says so explicitly.
+  json.kv("deadline_misses", service_stats.deadline_misses);
+  json.kv("fallbacks", service_stats.fallbacks);
   json.kv("wall_seconds", run_wall);
   json.key("cases");
   json.begin_array();
@@ -628,12 +633,15 @@ int main(int argc, char** argv) {
       // v4: whether the service coalesced this case onto a concurrent
       // identical in-flight solve instead of dispatching it.
       json.kv("dedup_join", outcome.dedup_join);
+      // v6: whether the degradation fallback solver produced this answer.
+      json.kv("fallback_used", outcome.fallback_used);
     } else {
       for (const char* field : {"makespan", "lower_bound", "ratio", "wall_seconds",
                                 "iterations", "allocations", "cache_hit", "dedup_join"}) {
         json.key(field);
         json.null_value();
       }
+      json.kv("fallback_used", outcome.fallback_used);
       if (!outcome.error.empty()) {
         // v5: machine-readable error class next to the message text.
         json.kv("error_code", to_string(outcome.error.code));
@@ -664,7 +672,8 @@ int main(int argc, char** argv) {
     json.kv("lower_bound", row.mean_lower_bound);
     json.kv("ratio", row.mean_ratio);
     json.kv("wall_seconds", row.wall_seconds);
-    for (const char* field : {"iterations", "allocations", "cache_hit", "dedup_join"}) {
+    for (const char* field : {"iterations", "allocations", "cache_hit", "dedup_join",
+                              "fallback_used"}) {
       json.key(field);
       json.null_value();
     }

@@ -12,8 +12,8 @@ compared, and the wall-clock delta is judged against a regression threshold
 (default +20%). Cells that exist in only one artifact are listed but never
 fail the run (new solvers/families join the sweep over time), and older
 artifacts (v1: no per-case counters; v2: no cache_hit; v3: no dedup_join;
-v4: no shard) compare fine against v5 ones -- missing fields read as
-absent/zero/None.
+v4: no shard; v5: no fallback_used) compare fine against v6 ones -- missing
+fields read as absent/zero/None.
 
 Cells whose baseline mean wall-clock sits below the --min-wall floor
 (default 100 us) are printed but never flagged: at that scale the delta is

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/cancellation.hpp"
+
 namespace malsched {
 
 std::string to_string(SolveStatus status) {
@@ -20,11 +22,21 @@ std::string to_string(SolveErrorCode code) {
     case SolveErrorCode::kCancelled: return "cancelled";
     case SolveErrorCode::kSolverFailure: return "solver_failure";
     case SolveErrorCode::kShutdown: return "shutdown";
+    case SolveErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case SolveErrorCode::kRejected: return "rejected";
   }
   return "unknown";
 }
 
 SolveError classify_solve_exception(const std::exception& err) {
+  // The cancellation types first: both derive from std::runtime_error, so
+  // they must not fall through to the generic solver-failure bucket.
+  if (dynamic_cast<const CancelledError*>(&err) != nullptr) {
+    return {SolveErrorCode::kCancelled, err.what()};
+  }
+  if (dynamic_cast<const DeadlineExceededError*>(&err) != nullptr) {
+    return {SolveErrorCode::kDeadlineExceeded, err.what()};
+  }
   if (dynamic_cast<const std::invalid_argument*>(&err) != nullptr) {
     return {SolveErrorCode::kInvalidOption, err.what()};
   }

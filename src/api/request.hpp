@@ -49,10 +49,15 @@ enum class SolveErrorCode {
   kSolverFailure,  ///< the dispatched solver threw
   kShutdown,       ///< cancelled because the service shut down with the
                    ///< request still pending
+  kDeadlineExceeded,  ///< the request's deadline/budget expired (in queue or
+                      ///< mid-solve -- running solves stop cooperatively)
+  kRejected,       ///< refused by admission control (queue over
+                   ///< max_queue_depth, or shed as the oldest queued job)
 };
 
-/// "none", "invalid_option", "cancelled", "solver_failure", "shutdown" --
-/// the spellings batch_json serializes as `error_code`.
+/// "none", "invalid_option", "cancelled", "solver_failure", "shutdown",
+/// "deadline_exceeded", "rejected" -- the spellings batch_json serializes as
+/// `error_code`.
 [[nodiscard]] std::string to_string(SolveErrorCode code);
 
 /// Typed error attached to a terminal SolveOutcome / BatchItem. `detail`
@@ -67,11 +72,13 @@ struct SolveError {
   }
 };
 
-/// Maps a caught exception to the taxonomy: std::invalid_argument (the
-/// registry's rejection type for unknown solvers/options and the option
-/// validators' for bad values) becomes kInvalidOption, anything else
-/// kSolverFailure. Shared by the batch engine and the service so equal
-/// failures classify identically everywhere.
+/// Maps a caught exception to the taxonomy: CancelledError becomes
+/// kCancelled, DeadlineExceededError kDeadlineExceeded (both from
+/// support/cancellation.hpp -- the cooperative checks inside running solves
+/// throw them), std::invalid_argument (the registry's rejection type for
+/// unknown solvers/options and the option validators' for bad values)
+/// kInvalidOption, anything else kSolverFailure. Shared by the batch engine
+/// and the service so equal failures classify identically everywhere.
 [[nodiscard]] SolveError classify_solve_exception(const std::exception& err);
 
 struct SolveRequest {
@@ -93,6 +100,15 @@ struct SolveRequest {
   /// for layers without a cache). Off for jobs that must measure a real
   /// solve.
   bool use_cache{true};
+  /// Relative latency budget in seconds, anchored when the consuming layer
+  /// first sees the request (service submit(), or registry solve() entry);
+  /// 0 = none. Expiry surfaces as SolveErrorCode::kDeadlineExceeded --
+  /// running solves stop cooperatively within one check stride (see
+  /// support/cancellation.hpp).
+  double budget_seconds{0.0};
+  /// Absolute steady-clock deadline (steady_now_seconds()); 0 = none. When
+  /// both are set the tighter one wins (merge_deadlines).
+  double deadline_seconds{0.0};
 };
 
 /// Terminal outcome of one request: the result (engaged iff kOk) plus the
@@ -108,6 +124,10 @@ struct SolveOutcome {
   // ------------------------------------------------------------ provenance
   bool cache_hit{false};   ///< served from the solve cache, no dispatch
   bool dedup_join{false};  ///< coalesced onto a concurrent identical solve
+  /// The result came from the configured fallback solver, not the requested
+  /// one (overload_policy = "degrade": queue past the watermark, or the
+  /// primary solve's deadline expired and the fast fallback answered).
+  bool fallback_used{false};
   /// Pool worker that produced (or served) the result; -1 when the outcome
   /// was produced off-pool (cancellation, shutdown, or a submit-time cache
   /// hit served inline on the submitting thread).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/dual_workspace.hpp"
+#include "support/failpoint.hpp"
 
 namespace malsched {
 
@@ -90,7 +91,8 @@ void SchedulerService::on_result(ResultCallback callback) {
 }
 
 JobTicket SchedulerService::enqueue_locked(SolveRequest request,
-                                           std::optional<SolveOutcome> ready) {
+                                           std::optional<SolveOutcome> ready,
+                                           bool& born_terminal) {
   if (!accepting_) {
     throw std::runtime_error("SchedulerService: submit() after shutdown()");
   }
@@ -103,14 +105,84 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request,
     // Submit-time cache hit: the slot is born terminal -- no closure is ever
     // posted, so a hit costs lock work on the calling thread instead of two
     // context switches through the pool. The caller runs deliver_ready()
-    // after unlocking (the stream must never fire under mutex_).
+    // after unlocking (the stream must never fire under mutex_). A hit
+    // consumes no queue slot, so admission control never sees it.
     ready->ticket = id;
     release_request_payload(request);
-    slots_.push_back(Slot{std::move(request), JobState::kDone, std::move(*ready), false, false});
-    count_terminal_locked(slots_.back().outcome.status);
+    Slot hit;
+    hit.request = std::move(request);
+    hit.state = JobState::kDone;
+    hit.outcome = std::move(*ready);
+    slots_.push_back(std::move(hit));
+    count_terminal_locked(slots_.back().outcome);
+    born_terminal = true;
     return JobTicket{id};
   }
-  slots_.push_back(Slot{std::move(request), JobState::kQueued, SolveOutcome{}, false, false});
+
+  // The end-to-end deadline is anchored HERE, at admission: queue wait
+  // counts against the budget (the whole point of a serving deadline).
+  const double deadline =
+      merge_deadlines(request.deadline_seconds, budget_deadline(request.budget_seconds));
+
+  bool degraded = false;
+  if (options_.max_queue_depth > 0 && queued_depth_ >= options_.max_queue_depth) {
+    if (options_.overload_policy == "reject") {
+      SolveOutcome refused;
+      refused.ticket = id;
+      refused.status = SolveStatus::kError;
+      refused.error = {SolveErrorCode::kRejected,
+                       "queue full (" + std::to_string(queued_depth_) + " >= max_queue_depth " +
+                           std::to_string(options_.max_queue_depth) + "), policy reject"};
+      refused.worker = WorkerPool::current_worker();  // -1: refused off-pool
+      release_request_payload(request);
+      Slot slot;
+      slot.request = std::move(request);
+      slot.state = JobState::kDone;
+      slot.outcome = std::move(refused);
+      slots_.push_back(std::move(slot));
+      count_terminal_locked(slots_.back().outcome);
+      ++stats_.rejected;
+      born_terminal = true;
+      return JobTicket{id};
+    }
+    if (options_.overload_policy == "shed_oldest") {
+      // The oldest still-queued slot makes room for the new one. The scan
+      // starts at shed_hint_ (slots below it are known non-queued; states
+      // only move forward), so repeated sheds stay amortized O(1).
+      for (std::uint64_t victim = shed_hint_; victim < slots_.size(); ++victim) {
+        Slot& old = slots_[victim];
+        if (old.state != JobState::kQueued) continue;
+        shed_hint_ = victim + 1;
+        old.state = JobState::kDone;
+        old.outcome.ticket = victim;
+        old.outcome.status = SolveStatus::kError;
+        old.outcome.error = {SolveErrorCode::kRejected,
+                             "shed under overload (shed_oldest) to admit ticket " +
+                                 std::to_string(id)};
+        release_request_payload(old.request);
+        count_terminal_locked(old.outcome);
+        ++stats_.shed;
+        --queued_depth_;
+        born_terminal = true;
+        // The victim's posted closure still sits in the pool queue; run_job
+        // sees the terminal state and returns without touching the slot.
+        break;
+      }
+    } else {
+      // "degrade": admit, but flag the slot to run the fast fallback solver
+      // instead of the requested one (cache/dedup skipped, fallback_used
+      // provenance). Depth may exceed the watermark -- degrade bounds the
+      // WORK each admitted job costs, not the queue length.
+      degraded = true;
+    }
+  }
+
+  Slot queued;
+  queued.request = std::move(request);
+  queued.deadline = deadline;
+  queued.degraded = degraded;
+  slots_.push_back(std::move(queued));
+  ++queued_depth_;
   // Posting under the state lock is safe (the pool never calls back into the
   // service while holding its own lock) and makes accepting_ imply a live
   // pool, so this post cannot throw.
@@ -127,7 +199,15 @@ std::optional<SolveOutcome> SchedulerService::peek_cache(const SolveRequest& req
   // is the authoritative (counted) one.
   const SolveCache::Key key =
       SolveCache::make_key(request.solver, request.options, request.instance);
-  const auto cached = cache_.lookup(key, /*count_miss=*/false);
+  std::shared_ptr<const SolverResult> cached;
+  try {
+    cached = cache_.lookup(key, /*count_miss=*/false);
+  } catch (...) {
+    // A failing cache must never fail the request: degrade the probe to a
+    // miss and let the dispatch path (which absorbs its own cache errors)
+    // solve for real.
+    cache_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (cached == nullptr) return std::nullopt;
   SolveOutcome outcome;
   outcome.status = SolveStatus::kOk;
@@ -140,13 +220,13 @@ std::optional<SolveOutcome> SchedulerService::peek_cache(const SolveRequest& req
 
 JobTicket SchedulerService::submit(SolveRequest request) {
   std::optional<SolveOutcome> ready = peek_cache(request);
-  const bool hit = ready.has_value();
+  bool born_terminal = false;
   JobTicket ticket;
   {
     const LockGuard lock(mutex_);
-    ticket = enqueue_locked(std::move(request), std::move(ready));
+    ticket = enqueue_locked(std::move(request), std::move(ready), born_terminal);
   }
-  if (hit) {
+  if (born_terminal) {
     done_cv_.notify_all();
     deliver_ready();
   }
@@ -168,23 +248,23 @@ std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> reques
   // the enqueue loop itself O(requests) under one mutex_ hold.
   std::vector<std::optional<SolveOutcome>> ready;
   ready.reserve(requests.size());
-  bool any_hit = false;
   for (const auto& request : requests) {
     ready.push_back(peek_cache(request));
-    any_hit = any_hit || ready.back().has_value();
   }
   std::vector<JobTicket> tickets;
   tickets.reserve(requests.size());
+  bool born_terminal = false;
   {
     const LockGuard lock(mutex_);
     if (!accepting_) {
       throw std::runtime_error("SchedulerService: submit() after shutdown()");
     }
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      tickets.push_back(enqueue_locked(std::move(requests[i]), std::move(ready[i])));
+      tickets.push_back(
+          enqueue_locked(std::move(requests[i]), std::move(ready[i]), born_terminal));
     }
   }
-  if (any_hit) {
+  if (born_terminal) {
     done_cv_.notify_all();
     deliver_ready();
   }
@@ -217,23 +297,60 @@ void SchedulerService::run_job(std::uint64_t id) {
   SolveRequest request;
   bool use_cache = false;
   bool use_dedup = false;
+  bool degraded = false;
+  CancelToken token;
+  double deadline = 0.0;
   {
     const LockGuard lock(mutex_);
     Slot& slot = slots_[id];
-    if (slot.state != JobState::kQueued) return;  // cancelled before start
+    if (slot.state != JobState::kQueued) return;  // cancelled/shed before start
     slot.state = JobState::kRunning;
+    --queued_depth_;
     request = slot.request;
-    use_cache = cache_.enabled() && request.use_cache;
+    token = slot.cancel;  // shares the flag cancel() fires
+    deadline = slot.deadline;
+    degraded = slot.degraded;
+    // A degraded job answers with the fallback solver: its result is NOT the
+    // requested solver's result, so it must neither populate nor consult the
+    // cache, nor coalesce with real solves of the same key.
+    use_cache = cache_.enabled() && request.use_cache && !degraded;
     // Dedup rides the cache flags: a request that opted out must measure a
     // real solve (not adopt someone else's), and a cache-disabled service
     // is the documented way to force exactly that service-wide.
     use_dedup = options_.dedup && use_cache;
   }
+  const bool can_degrade =
+      options_.overload_policy == "degrade" && !options_.fallback_solver.empty();
 
   const Stopwatch stopwatch;
   SolveOutcome outcome;
   outcome.ticket = id;
   outcome.worker = WorkerPool::current_worker();
+
+  // Deadline already expired while queued: never start the primary solve.
+  // Under degrade the request still gets a (fast) answer; otherwise it
+  // turns terminal kDeadlineExceeded right here.
+  if (deadline > 0.0 && steady_now_seconds() >= deadline) {
+    if (can_degrade) {
+      {
+        const LockGuard lock(mutex_);
+        ++stats_.deadline_misses;  // the fallback outcome won't carry the code
+      }
+      finish(id, run_fallback(request, id, stopwatch), /*reused_workspace=*/false, nullptr);
+      return;
+    }
+    outcome.status = SolveStatus::kError;
+    outcome.error = {SolveErrorCode::kDeadlineExceeded, "deadline expired while queued"};
+    outcome.wall_seconds = stopwatch.seconds();
+    finish(id, std::move(outcome), /*reused_workspace=*/false, nullptr);
+    return;
+  }
+
+  if (degraded) {
+    // Admitted past the watermark: straight to the fallback solver.
+    finish(id, run_fallback(request, id, stopwatch), /*reused_workspace=*/false, nullptr);
+    return;
+  }
 
   std::optional<SolveCache::Key> key;
   if (use_cache) {
@@ -241,7 +358,14 @@ void SchedulerService::run_job(std::uint64_t id) {
     // fingerprint with the two identity strings (audited by test). The hit
     // path stays entirely outside the service mutex.
     key = SolveCache::make_key(request.solver, request.options, request.instance);
-    if (const auto cached = cache_.lookup(*key)) {
+    std::shared_ptr<const SolverResult> cached;
+    try {
+      cached = cache_.lookup(*key);
+    } catch (...) {
+      // A failing cache degrades to a miss; the request solves for real.
+      cache_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cached != nullptr) {
       outcome.status = SolveStatus::kOk;
       outcome.result = *cached;  // copied outside the cache lock
       outcome.cache_hit = true;
@@ -262,6 +386,12 @@ void SchedulerService::run_job(std::uint64_t id) {
     if (Inflight* flight = find_inflight_locked(*key)) {
       flight->joiners.push_back(Inflight::Joiner{id, stopwatch});
       ++stats_.dedup_joins;
+      Slot& slot = slots_[id];
+      // Locators for cancel(): a joiner can be detached from its leader's
+      // bucket without disturbing the leader's solve.
+      slot.joined = true;
+      slot.join_fingerprint = key->fingerprint;
+      slot.join_leader = flight->leader;
       return;  // non-blocking: the leader's finish() completes this slot
     }
     inflight_[key->fingerprint].push_back(Inflight{*key, id, {}});
@@ -269,6 +399,8 @@ void SchedulerService::run_job(std::uint64_t id) {
 
   bool reused_workspace = false;
   SolveContext context;
+  context.cancel = &token;  // outlives the solve: local until finish()
+  context.deadline_seconds = deadline;
   const std::shared_ptr<const Instance>& instance = request.instance.shared();
   if (options_.reuse_workspaces) {
     context.workspace_provider = [&instance, &reused_workspace](const Instance& requested) {
@@ -276,6 +408,7 @@ void SchedulerService::run_job(std::uint64_t id) {
     };
   }
   try {
+    MALSCHED_FAILPOINT("service.dispatch");
     outcome.result = registry_->solve(request, context);
     outcome.status = SolveStatus::kOk;
   } catch (const std::exception& err) {
@@ -285,11 +418,58 @@ void SchedulerService::run_job(std::uint64_t id) {
     outcome.status = SolveStatus::kError;
     outcome.error = {SolveErrorCode::kSolverFailure, "non-standard exception"};
   }
+  if (outcome.error.code == SolveErrorCode::kCancelled) {
+    outcome.status = SolveStatus::kCancelled;  // cancel() fired mid-solve
+  }
+  if (outcome.error.code == SolveErrorCode::kDeadlineExceeded && can_degrade) {
+    // Degrade policy: one retry on the fast fallback. The primary's partial
+    // work is discarded; the caller gets a real (approximate) answer with
+    // fallback_used provenance instead of an error.
+    {
+      const LockGuard lock(mutex_);
+      ++stats_.deadline_misses;  // the fallback outcome won't carry the code
+    }
+    finish(id, run_fallback(request, id, stopwatch), reused_workspace,
+           use_dedup ? &*key : nullptr);
+    return;
+  }
   if (outcome.status == SolveStatus::kOk && use_cache) {
-    cache_.insert(*key, *outcome.result);
+    try {
+      cache_.insert(*key, *outcome.result);
+    } catch (...) {
+      // The result is already in hand; a failing insert only loses the memo.
+      cache_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   outcome.wall_seconds = stopwatch.seconds();
   finish(id, std::move(outcome), reused_workspace, use_dedup ? &*key : nullptr);
+}
+
+SolveOutcome SchedulerService::run_fallback(const SolveRequest& request, std::uint64_t id,
+                                            const Stopwatch& stopwatch) {
+  SolveOutcome outcome;
+  outcome.ticket = id;
+  outcome.worker = WorkerPool::current_worker();
+  outcome.fallback_used = true;
+  SolveRequest degraded;
+  degraded.instance = request.instance;
+  degraded.solver = options_.fallback_solver;
+  // Empty options (the request's bag belongs to the PRIMARY solver's schema)
+  // and no deadline: the fallback is the bounded-work answer of last resort,
+  // and cutting it off too would leave the caller with nothing.
+  SolveContext context;
+  try {
+    outcome.result = registry_->solve(degraded, context);
+    outcome.status = SolveStatus::kOk;
+  } catch (const std::exception& err) {
+    outcome.status = SolveStatus::kError;
+    outcome.error = classify_solve_exception(err);
+  } catch (...) {
+    outcome.status = SolveStatus::kError;
+    outcome.error = {SolveErrorCode::kSolverFailure, "non-standard exception"};
+  }
+  outcome.wall_seconds = stopwatch.seconds();
+  return outcome;
 }
 
 void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
@@ -340,7 +520,7 @@ void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reuse
     slot.outcome = std::move(outcome);
     slot.state = JobState::kDone;
     release_request_payload(slot.request);
-    count_terminal_locked(slot.outcome.status);
+    count_terminal_locked(slot.outcome);
     if (reused_workspace) ++stats_.workspace_reuses;
 
     for (std::size_t j = 0; j < joiners.size(); ++j) {
@@ -348,19 +528,24 @@ void SchedulerService::finish(std::uint64_t id, SolveOutcome outcome, bool reuse
       joined.outcome = std::move(joined_outcomes[j]);
       joined.state = JobState::kDone;
       release_request_payload(joined.request);
-      count_terminal_locked(joined.outcome.status);
+      count_terminal_locked(joined.outcome);
     }
   }
   done_cv_.notify_all();
   deliver_ready();
 }
 
-void SchedulerService::count_terminal_locked(SolveStatus status) {
-  switch (status) {
+void SchedulerService::count_terminal_locked(const SolveOutcome& outcome) {
+  switch (outcome.status) {
     case SolveStatus::kOk: ++stats_.completed; break;
     case SolveStatus::kError: ++stats_.failed; break;
     case SolveStatus::kCancelled: ++stats_.cancelled; break;
   }
+  // Terminal kDeadlineExceeded outcomes are counted here; a deadline miss
+  // answered by the fallback is counted at its trigger site in run_job
+  // (the replacement outcome no longer carries the code).
+  if (outcome.error.code == SolveErrorCode::kDeadlineExceeded) ++stats_.deadline_misses;
+  if (outcome.fallback_used) ++stats_.fallbacks;
 }
 
 void SchedulerService::deliver_ready() {
@@ -478,6 +663,8 @@ SolveOutcome SchedulerService::wait(JobTicket ticket) {
   if (ticket.id >= slots_.size()) {
     throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
   }
+  // unblocked by: finish()/cancel()/shutdown() notifying done_cv_ at every
+  // terminal transition; shutdown() terminalizes whatever never ran.
   while (slots_[ticket.id].state != JobState::kDone) done_cv_.wait(mutex_);
   Slot& slot = slots_[ticket.id];
   if (slot.reclaimed) {
@@ -491,21 +678,66 @@ SolveOutcome SchedulerService::wait(JobTicket ticket) {
 }
 
 bool SchedulerService::cancel(JobTicket ticket) {
+  CancelToken token;
+  bool fire_token = false;
   {
     const LockGuard lock(mutex_);
     if (ticket.id >= slots_.size()) {
       throw std::out_of_range("SchedulerService: unknown ticket " + std::to_string(ticket.id));
     }
     Slot& slot = slots_[ticket.id];
-    if (slot.state != JobState::kQueued) return false;
-    slot.state = JobState::kDone;
-    slot.outcome.ticket = ticket.id;
-    slot.outcome.status = SolveStatus::kCancelled;
-    slot.outcome.error.code = SolveErrorCode::kCancelled;
-    release_request_payload(slot.request);
-    ++stats_.cancelled;
-    // The posted closure still sits in the pool queue; run_job sees the
-    // terminal state and returns without touching the slot.
+    if (slot.state == JobState::kDone) return false;
+    if (slot.state == JobState::kQueued) {
+      slot.state = JobState::kDone;
+      slot.outcome.ticket = ticket.id;
+      slot.outcome.status = SolveStatus::kCancelled;
+      slot.outcome.error.code = SolveErrorCode::kCancelled;
+      release_request_payload(slot.request);
+      count_terminal_locked(slot.outcome);
+      --queued_depth_;
+      // The posted closure still sits in the pool queue; run_job sees the
+      // terminal state and returns without touching the slot.
+    } else if (slot.joined) {
+      // Dedup joiner: detach THIS ticket from its leader's coalescing point
+      // (the leader keeps solving for everyone else) and turn it terminal.
+      // If the leader's finish() already claimed the joiner list, the
+      // coalesced outcome is imminent -- report "too late to cancel".
+      bool detached = false;
+      const auto bucket = inflight_.find(slot.join_fingerprint);
+      if (bucket != inflight_.end()) {
+        for (auto& flight : bucket->second) {
+          if (flight.leader != slot.join_leader) continue;
+          auto& joiners = flight.joiners;
+          const auto it =
+              std::find_if(joiners.begin(), joiners.end(),
+                           [&](const Inflight::Joiner& j) { return j.id == ticket.id; });
+          if (it != joiners.end()) {
+            joiners.erase(it);
+            detached = true;
+          }
+          break;
+        }
+      }
+      if (!detached) return false;
+      slot.state = JobState::kDone;
+      slot.outcome.ticket = ticket.id;
+      slot.outcome.status = SolveStatus::kCancelled;
+      slot.outcome.error = {SolveErrorCode::kCancelled,
+                            "cancelled while coalesced on an in-flight solve"};
+      release_request_payload(slot.request);
+      count_terminal_locked(slot.outcome);
+    } else {
+      // Running solo or dedup leader: fire the shared token outside the
+      // lock. The solve observes it at the next check stride and surfaces
+      // kCancelled through finish() -- which also fans the cancelled
+      // outcome out to any joined tickets, so no joiner is stranded.
+      token = slot.cancel;
+      fire_token = true;
+    }
+  }
+  if (fire_token) {
+    token.cancel();
+    return true;
   }
   done_cv_.notify_all();
   deliver_ready();
@@ -515,6 +747,9 @@ bool SchedulerService::cancel(JobTicket ticket) {
 void SchedulerService::drain() {
   const LockGuard lock(mutex_);
   const std::uint64_t target = slots_.size();
+  // unblocked by: deliver_ready() notifying done_cv_ after each counted
+  // delivery; every slot turns terminal eventually (workers finish, cancel/
+  // shutdown terminalize the rest), so the frontier reaches the target.
   while (stats_.delivered < target) done_cv_.wait(mutex_);
 }
 
@@ -531,7 +766,8 @@ void SchedulerService::shutdown() {
       slot.outcome.error = {SolveErrorCode::kShutdown,
                             "service shut down before the job started"};
       release_request_payload(slot.request);
-      ++stats_.cancelled;
+      count_terminal_locked(slot.outcome);
+      --queued_depth_;
     }
   }
   done_cv_.notify_all();
@@ -541,6 +777,19 @@ void SchedulerService::shutdown() {
   pool_.shutdown();
   // Flush the tail of the stream: everything is terminal now.
   deliver_ready();
+  // Delivery quiescence (see the header contract): the deliver_ready()
+  // above returns immediately when ANOTHER thread holds the single-
+  // deliverer role -- it only flags a rescan. Returning then would hand
+  // the caller a "shut down" service with the last streamed callback still
+  // in flight (the drain()-vs-shutdown() race this contract pins). Wait
+  // for the stream to fully settle instead.
+  {
+    const LockGuard lock(mutex_);
+    // unblocked by: the active deliverer counting the final delivery and
+    // notifying done_cv_; every slot is already terminal here, so the
+    // frontier cannot stall.
+    while (stats_.delivered < slots_.size()) done_cv_.wait(mutex_);
+  }
 }
 
 ServiceStats SchedulerService::stats() const {
@@ -549,6 +798,7 @@ ServiceStats SchedulerService::stats() const {
     const LockGuard lock(mutex_);
     out = stats_;
   }
+  out.cache_failures = cache_failures_.load(std::memory_order_relaxed);
   const SolveCacheStats cache = cache_.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;

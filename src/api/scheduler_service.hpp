@@ -9,11 +9,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "api/request.hpp"
 #include "api/service_config.hpp"
 #include "api/solve_cache.hpp"
 #include "exec/batch_runner.hpp"
 #include "exec/worker_pool.hpp"
+#include "support/cancellation.hpp"
 #include "support/mutex.hpp"
 #include "support/stopwatch.hpp"
 
@@ -60,6 +63,28 @@
 ///    so dedup never idles a thread. `dedup_joins` counts registrations.
 ///    Per-request opt-out rides SolveRequest::use_cache (a request that must
 ///    measure a real solve must not adopt someone else's).
+///
+/// Robustness (deadlines, admission, degradation):
+///
+///  * **Deadlines** -- SolveRequest::budget_seconds (relative, anchored at
+///    submit()) and ::deadline_seconds (absolute steady-clock) bound how
+///    long a request may take END TO END, queue wait included; the tighter
+///    one wins. An expired request turns terminal with
+///    SolveErrorCode::kDeadlineExceeded -- before dispatch if it expired in
+///    the queue, or mid-solve via the cooperative CancelCheck threaded
+///    through the solver hot loops (bounded-latency stop, no thread kill).
+///  * **cancel() on RUNNING jobs** fires the slot's CancelToken: the solve
+///    observes it at the next check stride and surfaces kCancelled. A
+///    cancelled dedup LEADER fans the cancelled outcome out to every joined
+///    ticket (nobody is stranded mid-coalesce); cancelling a JOINER detaches
+///    just that ticket.
+///  * **Admission control** -- with ServiceConfig::max_queue_depth > 0, a
+///    submit() that finds the queue full applies `overload_policy`: "reject"
+///    turns the NEW request terminal (kRejected), "shed_oldest" evicts the
+///    oldest still-queued job (kRejected) in its favor, "degrade" admits it
+///    flagged to run on the configured fast `fallback_solver` (cache/dedup
+///    skipped, `fallback_used` provenance). Degrade also retries a
+///    deadline-expired primary solve once on the fallback.
 ///
 /// Cache-miss solves additionally reuse per-worker mrt scratch: each worker
 /// keeps the DualWorkspace of the last instance it solved and hands it to
@@ -144,6 +169,18 @@ struct ServiceStats {
   std::size_t cache_entries{0};
   std::size_t cache_bytes{0};  ///< approximate resident footprint
   std::uint64_t workspace_reuses{0};  ///< solves that borrowed a warm workspace
+  // Robustness counters. `rejected` and `shed` outcomes are kError and so
+  // also counted under `failed`; `deadline_misses` counts both terminal
+  // kDeadlineExceeded outcomes and deadline-triggered fallback retries;
+  // `fallbacks` counts outcomes the fallback solver answered
+  // (`fallback_used` provenance); `cache_failures` counts cache
+  // lookup/insert exceptions absorbed (lookup degraded to a miss, insert
+  // skipped -- the request still completes).
+  std::uint64_t rejected{0};
+  std::uint64_t shed{0};
+  std::uint64_t deadline_misses{0};
+  std::uint64_t fallbacks{0};
+  std::uint64_t cache_failures{0};
 };
 
 /// Pre-v2 per-submit flags; SolveRequest::use_cache carries this now.
@@ -200,11 +237,18 @@ class SchedulerService {
   /// Same reclamation semantics as poll().
   [[nodiscard]] SolveOutcome wait(JobTicket ticket) MALSCHED_EXCLUDES(mutex_);
 
-  /// Requests cancellation. Jobs still queued are cancelled immediately
-  /// (their outcome is kCancelled and enters the stream in ticket order);
-  /// returns false for jobs already running (a dedup joiner counts as
-  /// running -- its leader is), or terminal -- solves are not interrupted
-  /// mid-flight, matching BatchRunner's cancellation model.
+  /// Requests cancellation; returns false only for jobs already terminal.
+  /// Jobs still queued are cancelled immediately (their outcome is
+  /// kCancelled and enters the stream in ticket order). A RUNNING solo or
+  /// dedup-leader solve has its CancelToken fired: the return is true (the
+  /// request was delivered) and the outcome arrives as kCancelled within
+  /// one check stride -- unless the solve completed first, in which case
+  /// its real outcome stands (cooperative cancellation is best-effort by
+  /// construction). A cancelled LEADER's kCancelled outcome fans out to
+  /// every joined ticket. A dedup JOINER is detached from its leader and
+  /// turned kCancelled on its own (the leader keeps solving); returns false
+  /// if the leader's epilogue already claimed the joiner list (the
+  /// coalesced outcome is imminent).
   bool cancel(JobTicket ticket) MALSCHED_EXCLUDES(mutex_);
 
   /// Blocks until every job submitted BEFORE the call is delivered to the
@@ -215,6 +259,15 @@ class SchedulerService {
   /// Graceful stop: rejects new submissions, cancels every queued job,
   /// lets running solves finish, delivers every outcome, joins the workers.
   /// Idempotent.
+  ///
+  /// Ordering contract with drain(): when shutdown() returns, EVERY
+  /// outcome has been streamed (stats().delivered == stats().submitted) --
+  /// including the case where another thread held the single-deliverer
+  /// role when shutdown() flushed the tail, in which case shutdown()
+  /// WAITS for that deliverer to finish rather than returning with the
+  /// last callback still in flight. A drain() racing shutdown() therefore
+  /// also observes the complete stream; neither call can return between
+  /// "all slots terminal" and "all outcomes delivered".
   void shutdown() MALSCHED_EXCLUDES(mutex_);
 
   [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
@@ -230,6 +283,12 @@ class SchedulerService {
     SolveOutcome outcome;
     bool observed{false};   ///< a poll()/wait() returned this outcome
     bool reclaimed{false};  ///< gc_slots freed the outcome payload
+    CancelToken cancel;     ///< fired by cancel() on a RUNNING solve
+    double deadline{0.0};   ///< absolute steady-clock (0 = none), anchored at submit
+    bool degraded{false};   ///< admitted past the watermark: runs the fallback
+    bool joined{false};     ///< registered as a dedup joiner (locators below)
+    std::uint64_t join_fingerprint{0};  ///< inflight_ bucket of the leader
+    std::uint64_t join_leader{0};       ///< leader ticket this slot coalesced on
   };
 
   /// One coalescing point: the leader's key plus everyone who joined it.
@@ -244,10 +303,15 @@ class SchedulerService {
   };
 
   /// With `ready` engaged (a submit-time cache hit), the slot is born
-  /// terminal: no closure is posted, and the caller must run deliver_ready()
-  /// after releasing the mutex.
-  JobTicket enqueue_locked(SolveRequest request, std::optional<SolveOutcome> ready = std::nullopt)
-      MALSCHED_REQUIRES(mutex_);
+  /// terminal: no closure is posted. Admission control runs here too --
+  /// a full queue may reject the new slot (born terminal kRejected), shed
+  /// the oldest queued one, or flag the new one degraded. Whenever ANY slot
+  /// turned terminal (the new one or a shed victim), `born_terminal` is set
+  /// to true (never cleared -- it accumulates across a batch) and the
+  /// caller must notify done_cv_ and run deliver_ready() after releasing
+  /// the mutex.
+  JobTicket enqueue_locked(SolveRequest request, std::optional<SolveOutcome> ready,
+                           bool& born_terminal) MALSCHED_REQUIRES(mutex_);
   /// Submit-time cache fast path: probes the solve cache on the CALLING
   /// thread for a cache-consulting request and returns the ready outcome on
   /// a hit (no worker round trip). Misses are not counted here -- see
@@ -255,12 +319,19 @@ class SchedulerService {
   [[nodiscard]] std::optional<SolveOutcome> peek_cache(const SolveRequest& request)
       MALSCHED_EXCLUDES(mutex_);
   void run_job(std::uint64_t id) MALSCHED_EXCLUDES(mutex_);
+  /// Runs `options_.fallback_solver` on the request's instance with EMPTY
+  /// options, no cache/dedup, no deadline; the outcome carries
+  /// `fallback_used` and the serving wall measured by `stopwatch` (the
+  /// failed/skipped primary attempt included -- that is the latency the
+  /// caller experienced).
+  [[nodiscard]] SolveOutcome run_fallback(const SolveRequest& request, std::uint64_t id,
+                                          const Stopwatch& stopwatch) MALSCHED_EXCLUDES(mutex_);
   void finish(std::uint64_t id, SolveOutcome outcome, bool reused_workspace,
               const SolveCache::Key* inflight_key) MALSCHED_EXCLUDES(mutex_);
   void deliver_ready() MALSCHED_EXCLUDES(mutex_);
   Inflight* find_inflight_locked(const SolveCache::Key& key) MALSCHED_REQUIRES(mutex_);
   void maybe_reclaim_locked(std::uint64_t id) MALSCHED_REQUIRES(mutex_);
-  void count_terminal_locked(SolveStatus status) MALSCHED_REQUIRES(mutex_);
+  void count_terminal_locked(const SolveOutcome& outcome) MALSCHED_REQUIRES(mutex_);
 
   ServiceConfig options_;
   const SolverRegistry* registry_;
@@ -273,6 +344,16 @@ class SchedulerService {
   std::uint64_t next_delivery_ MALSCHED_GUARDED_BY(mutex_){0};
   bool accepting_ MALSCHED_GUARDED_BY(mutex_){true};
   ServiceStats stats_ MALSCHED_GUARDED_BY(mutex_);
+  /// Jobs accepted but not yet picked up by a worker -- what admission
+  /// control compares against max_queue_depth. Degraded admissions count
+  /// too (they occupy the queue; degrade bounds WORK per job, not depth).
+  long long queued_depth_ MALSCHED_GUARDED_BY(mutex_){0};
+  /// shed_oldest scan cursor: every slot below it is known non-queued
+  /// (states only move forward), so repeated sheds stay amortized O(1).
+  std::uint64_t shed_hint_ MALSCHED_GUARDED_BY(mutex_){0};
+  /// Cache lookup/insert exceptions absorbed. Atomic, not mutex_-guarded:
+  /// peek_cache() runs on the submit thread without mutex_ by design.
+  std::atomic<std::uint64_t> cache_failures_{0};
 
   /// Leaders currently solving, by key fingerprint (vector per bucket for
   /// collision safety). Entries live from the leader's miss to its finish().

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "api/solver_registry.hpp"
+
 namespace malsched {
 
 std::vector<std::string> ServiceConfig::validate() const {
@@ -23,6 +25,26 @@ std::vector<std::string> ServiceConfig::validate() const {
     errors.push_back(
         "cache is enabled but cache_capacity is 0 (a zero entry budget disables it "
         "silently); set cache = false to run without a cache, or give it a capacity");
+  }
+  if (max_queue_depth < 0) {
+    errors.push_back("max_queue_depth = " + std::to_string(max_queue_depth) +
+                     " is negative; use 0 for an unbounded queue");
+  }
+  if (overload_policy != "reject" && overload_policy != "shed_oldest" &&
+      overload_policy != "degrade") {
+    errors.push_back("overload_policy = \"" + overload_policy +
+                     "\" is not one of reject/shed_oldest/degrade");
+  } else if (overload_policy == "degrade" && fallback_solver.empty()) {
+    errors.push_back(
+        "overload_policy = \"degrade\" needs a fallback_solver to degrade onto "
+        "(e.g. \"two_phase\")");
+  }
+  if (!fallback_solver.empty()) {
+    const SolverRegistry& effective = registry != nullptr ? *registry : SolverRegistry::global();
+    if (!effective.contains(fallback_solver)) {
+      errors.push_back("fallback_solver = \"" + fallback_solver +
+                       "\" is not registered in the effective registry");
+    }
   }
   return errors;
 }

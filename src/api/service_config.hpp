@@ -42,15 +42,41 @@ struct ServiceConfig {
   /// the service and not be mutated while it runs.
   const SolverRegistry* registry{nullptr};
 
+  // ------------------------------------------------- admission control
+  /// Queued (not yet running) jobs the service will hold before the
+  /// overload policy kicks in; 0 = unbounded (the pre-admission behavior).
+  /// Signed so a negative count is a validation error instead of a silent
+  /// wrap to "practically unbounded". Per shard on the sharded tier.
+  long long max_queue_depth{0};
+  /// What happens to a submit() that finds the queue at max_queue_depth:
+  ///   "reject"      the NEW request turns terminal immediately
+  ///                 (kError / kRejected), nothing is dispatched;
+  ///   "shed_oldest" the OLDEST still-queued job is turned terminal
+  ///                 (kError / kRejected) and the new one takes its place;
+  ///   "degrade"     the new request is accepted but marked degraded: it
+  ///                 runs on `fallback_solver` (fast, cache/dedup skipped,
+  ///                 `fallback_used` provenance) instead of its requested
+  ///                 solver. Degrade also retries a deadline-expired
+  ///                 primary solve once on the fallback.
+  std::string overload_policy{"reject"};
+  /// Fast fallback solver for overload_policy = "degrade" (e.g.
+  /// "two_phase"); must exist in the effective registry. Runs with EMPTY
+  /// options -- the request's option bag belongs to the requested solver
+  /// and would fail the fallback's schema.
+  std::string fallback_solver;
+
   /// Sanity ceiling for `threads`: far above any real machine, low enough to
   /// catch a negative count that wrapped through `unsigned`.
   static constexpr unsigned kMaxThreads = 1024;
 
   /// Every violation as one readable sentence; empty means valid.
   /// Checked: `threads` <= kMaxThreads, `cache_ttl_seconds` finite and
-  /// non-negative, and `cache` on implies `cache_capacity` > 0 (a zero
+  /// non-negative, `cache` on implies `cache_capacity` > 0 (a zero
   /// entry budget silently disables the cache -- say `cache = false`
-  /// instead).
+  /// instead), `max_queue_depth` >= 0, `overload_policy` one of
+  /// reject/shed_oldest/degrade, "degrade" implies a non-empty
+  /// `fallback_solver`, and a non-empty `fallback_solver` exists in the
+  /// effective registry (`registry`, or the global one when null).
   [[nodiscard]] std::vector<std::string> validate() const;
 
   /// Throws std::invalid_argument joining every validate() violation into

@@ -30,6 +30,11 @@ void accumulate(ServiceStats& total, const ServiceStats& shard) {
   total.cache_entries += shard.cache_entries;
   total.cache_bytes += shard.cache_bytes;
   total.workspace_reuses += shard.workspace_reuses;
+  total.rejected += shard.rejected;
+  total.shed += shard.shed;
+  total.deadline_misses += shard.deadline_misses;
+  total.fallbacks += shard.fallbacks;
+  total.cache_failures += shard.cache_failures;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/failpoint.hpp"
 #include "support/fnv.hpp"
 
 namespace malsched {
@@ -100,6 +101,9 @@ void SolveCache::erase_locked(EntryList::iterator it) {
 
 std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key, bool count_miss) {
   if (config_.capacity == 0) return nullptr;
+  // After the capacity guard: a disabled cache is a legitimate no-op, not a
+  // failure path worth injecting into.
+  MALSCHED_FAILPOINT("cache.lookup");
   const LockGuard lock(mutex_);
   const auto bucket = index_.find(key.fingerprint);
   if (bucket != index_.end()) {
@@ -123,6 +127,7 @@ std::shared_ptr<const SolverResult> SolveCache::lookup(const Key& key, bool coun
 
 void SolveCache::insert(const Key& key, const SolverResult& result) {
   if (config_.capacity == 0) return;
+  MALSCHED_FAILPOINT("cache.insert");
   // The expensive part (copying a full SolverResult, Schedule included)
   // stays outside the critical section.
   auto memoized = std::make_shared<const SolverResult>(result);

@@ -14,6 +14,7 @@
 #include "model/lower_bounds.hpp"
 #include "sched/local_search.hpp"
 #include "sched/validate.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace malsched {
@@ -31,6 +32,16 @@ SolverResult solve_mrt(const Instance& instance, const SolverOptions& options,
   mrt.enable_malleable_list = options.get_bool("malleable_list", mrt.enable_malleable_list);
   mrt.use_workspace = options.get_bool("workspace", mrt.use_workspace);
   mrt.snap_to_breakpoints = options.get_bool("snap", mrt.snap_to_breakpoints);
+
+  // One CancelCheck copied into every branch's options: the dual loop polls
+  // per guess, the canonical-list placement and knapsack branch-and-bound
+  // tick per task/node, so cancel() and deadline expiry stop a running mrt
+  // solve within one check stride. Unarmed (the default) every check is a
+  // no-op and the solve is byte-identical to the pre-deadline tree.
+  const CancelCheck check(context.cancel, context.deadline_seconds);
+  mrt.search.cancel = check;
+  mrt.canonical_list.cancel = check;
+  mrt.two_shelf.cancel = check;
 
   // The PR 3 reuse hook: a long-lived front end (SchedulerService worker)
   // may offer a per-thread workspace already built for this instance; the
@@ -316,8 +327,17 @@ SolverResult SolverRegistry::solve(const SolveRequest& request,
   if (!request.instance.valid()) {
     throw std::invalid_argument("SolverRegistry: solve() on an empty InstanceHandle");
   }
+  // Fold the request's own deadline knobs into the caller's context: the
+  // budget anchors here (registry entry) for direct callers -- the service
+  // anchors it earlier, at submit(), and passes the result through
+  // context.deadline_seconds, so a queued wait counts against the budget.
+  SolveContext merged = context;
+  merged.deadline_seconds =
+      merge_deadlines(merge_deadlines(request.deadline_seconds,
+                                      budget_deadline(request.budget_seconds)),
+                      context.deadline_seconds);
   return solve_impl(entry(request.solver), request.instance.instance(), request.options,
-                    context, request.instance.static_lower_bound());
+                    merged, request.instance.static_lower_bound());
 }
 
 SolverResult SolverRegistry::solve(const std::string& name, const Instance& instance,
@@ -335,6 +355,13 @@ SolverResult SolverRegistry::solve_impl(const Entry& solver, const Instance& ins
                                         const SolverOptions& options,
                                         const SolveContext& context, double static_lb) const {
   const Stopwatch stopwatch;
+  MALSCHED_FAILPOINT("solver.entry");
+
+  // An already-cancelled or already-expired request fails here, before any
+  // work -- the cheap exit that makes tiny solves honor deadlines too (their
+  // hot loops may finish inside one check stride).
+  const CancelCheck check(context.cancel, context.deadline_seconds);
+  check.poll();
 
   // Free-form solvers (empty declared table) skip schema validation -- the
   // forward-compat path for custom registrations without a spec.

@@ -10,6 +10,7 @@
 #include "api/solver_options.hpp"
 #include "api/solver_result.hpp"
 #include "model/instance.hpp"
+#include "support/cancellation.hpp"
 
 /// The production entry point of the library: one name-keyed facade over
 /// every scheduling algorithm, so front ends (CLI, batch drivers, benches,
@@ -57,9 +58,11 @@ namespace malsched {
 class DualWorkspace;  // core/dual_workspace.hpp
 
 /// Optional per-call state a long-lived front end threads into
-/// context-aware solvers. Today that is one hook: a per-thread
-/// DualWorkspace provider, so same-instance mrt solves on one service
-/// worker reuse the breakpoint index instead of rebuilding it.
+/// context-aware solvers: a per-thread DualWorkspace provider (so
+/// same-instance mrt solves on one service worker reuse the breakpoint
+/// index instead of rebuilding it) and the cooperative cancellation pair --
+/// a borrowed CancelToken plus an absolute deadline -- that the dispatch
+/// turns into the CancelCheck the solver hot loops carry.
 struct SolveContext {
   /// Returns a workspace built for exactly `instance` (building or reusing
   /// as the provider sees fit), or nullptr to decline. Called lazily -- only
@@ -68,6 +71,14 @@ struct SolveContext {
   /// for a build. The returned workspace must outlive the solve and must not
   /// be shared across threads.
   std::function<DualWorkspace*(const Instance&)> workspace_provider;
+  /// Borrowed cancellation flag (must outlive the solve); nullptr = none.
+  /// Firing it makes the running solve throw CancelledError within one
+  /// check stride.
+  const CancelToken* cancel{nullptr};
+  /// Absolute steady-clock deadline (steady_now_seconds()); 0 = none.
+  /// Merged with the request's own budget/deadline on the SolveRequest
+  /// path; expiry throws DeadlineExceededError.
+  double deadline_seconds{0.0};
 };
 
 class SolverRegistry {

@@ -50,7 +50,7 @@ int find_idle_window(const std::vector<double>& avail, int width) {
 /// allocation-free (the legacy path passes locals).
 Schedule reallocation_schedule(const Instance& instance, std::span<const int> allotment,
                                std::span<const int> order, int khat, bool& reallocated,
-                               CanonicalListScratch& scratch) {
+                               CanonicalListScratch& scratch, const CancelCheck& cancel) {
   const int machines = instance.machines();
   Schedule schedule(machines, instance.size());
   auto& avail = scratch.avail;
@@ -66,6 +66,7 @@ Schedule reallocation_schedule(const Instance& instance, std::span<const int> al
   reallocated = false;
 
   for (const int task : order) {
+    cancel.tick();
     const int procs = allotment[static_cast<std::size_t>(task)];
     const double duration = instance.task(task).time(procs);
 
@@ -143,7 +144,7 @@ CanonicalListOutcome canonical_list_schedule(const Instance& instance, double de
   CanonicalListScratch scratch;
   outcome.schedule = reallocation_schedule(instance, allotment, order,
                                            reallocation_width(options.mu), outcome.reallocated,
-                                           scratch);
+                                           scratch, options.cancel);
   return outcome;
 }
 
@@ -172,7 +173,7 @@ CanonicalListOutcome canonical_list_schedule(DualWorkspace& workspace, double de
 
   outcome.schedule = reallocation_schedule(instance, allotment, order,
                                            reallocation_width(options.mu), outcome.reallocated,
-                                           workspace.list_scratch());
+                                           workspace.list_scratch(), options.cancel);
   return outcome;
 }
 

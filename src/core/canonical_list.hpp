@@ -5,6 +5,7 @@
 
 #include "model/instance.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancellation.hpp"
 
 /// The Canonical List Algorithm of Section 3.2 (Theorem 2) with the
 /// appendix's reallocation refinement.
@@ -44,6 +45,11 @@ struct CanonicalListOptions {
   double mu{0.8660254037844386};
   /// Apply the appendix's reallocation rule.
   bool use_reallocation{true};
+  /// Cooperative cancellation/deadline probe, ticked once per placed task
+  /// (strided -- see CancelCheck), so a 10k-task placement loop stops within
+  /// one stride of cancel()/expiry. Unarmed by default (byte-identical
+  /// schedules).
+  CancelCheck cancel;
 };
 
 /// Diagnostics accompanying a canonical-list run.

@@ -56,6 +56,7 @@ DualSearchResult dual_search(const Instance& instance, const DualStep& step,
   double hi = dual_ramp_start(instance);
   bool have_hi = false;
   while (iterations < options.max_iterations && !have_hi) {
+    options.cancel.poll();
     ++iterations;
     auto outcome = step(hi);
     if (outcome.schedule) {
@@ -75,6 +76,7 @@ DualSearchResult dual_search(const Instance& instance, const DualStep& step,
   // Phase 2: geometric bisection of [lo, hi]; hi always carries an accepted
   // schedule, lo sits below every accepted guess seen so far.
   while (iterations < options.max_iterations && hi > lo * (1.0 + options.epsilon)) {
+    options.cancel.poll();
     ++iterations;
     const double mid = std::sqrt(lo * hi);
     auto outcome = step(mid);

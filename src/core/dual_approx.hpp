@@ -5,6 +5,7 @@
 
 #include "model/instance.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancellation.hpp"
 
 /// The dual-approximation framework of Hochbaum & Shmoys used in Section 2.2.
 ///
@@ -36,6 +37,10 @@ struct DualSearchOptions {
   double epsilon{0.01};
   /// Hard cap on dual steps (exponential ramp-up + bisection).
   int max_iterations{200};
+  /// Cooperative cancellation/deadline probe, polled once per dual step
+  /// (each step is expensive, so no striding). Unarmed by default: the
+  /// search then behaves byte-identically to a check-free build.
+  CancelCheck cancel;
 };
 
 struct DualSearchResult {

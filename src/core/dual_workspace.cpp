@@ -457,6 +457,7 @@ DualSearchResult dual_search_snapped(DualWorkspace& workspace, const DualStep& s
   }
   bool have_hi = false;
   while (iterations < options.max_iterations && !have_hi) {
+    options.cancel.poll();
     ++iterations;
     auto outcome = step(hi);
     if (outcome.schedule) {
@@ -478,6 +479,7 @@ DualSearchResult dual_search_snapped(DualWorkspace& workspace, const DualStep& s
   // halves the number of candidate allotment changes in the bracket -- and
   // finish geometrically once the bracket is breakpoint-free.
   while (iterations < options.max_iterations && hi > lo * (1.0 + options.epsilon)) {
+    options.cancel.poll();
     ++iterations;
     const auto first = std::upper_bound(breakpoints.begin(), breakpoints.end(), lo);
     const auto last = std::lower_bound(first, breakpoints.end(), hi);

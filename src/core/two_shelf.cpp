@@ -235,7 +235,7 @@ TwoShelfOutcome two_shelf_run(const Instance& instance, const CanonicalAllotment
     if (options.knapsack == KnapsackMode::kExact) {
       // knapsack_exact_auto degrades to branch and bound instead of
       // std::length_error when the DP table would blow the memory guard.
-      selection = knapsack_exact_auto(items, capacity, scratch.knapsack);
+      selection = knapsack_exact_auto(items, capacity, scratch.knapsack, &options.cancel);
     } else {
       selection = knapsack_fptas(items, capacity, options.fptas_eps);
       if (selection.profit < part.q1 && part.q1 > 0) {

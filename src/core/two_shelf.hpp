@@ -7,6 +7,7 @@
 #include "model/instance.hpp"
 #include "packing/first_fit.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancellation.hpp"
 
 /// The knapsack-based two-shelf construction of Section 4.
 ///
@@ -86,6 +87,11 @@ struct TwoShelfOptions {
   double fptas_eps{0.05};
   /// Also scan for the paper's trivial solutions (Section 4.5).
   bool try_trivial{true};
+  /// Cooperative cancellation/deadline probe, forwarded into the knapsack
+  /// branch-and-bound (ticked per explored node, strided) -- the one
+  /// potentially exponential corner of the construction. Unarmed by default
+  /// (byte-identical selections).
+  CancelCheck cancel;
 };
 
 /// Diagnostics of a two-shelf attempt (consumed by bench_regimes).

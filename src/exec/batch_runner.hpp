@@ -14,6 +14,7 @@
 #include "api/solver_result.hpp"
 #include "model/instance.hpp"
 #include "model/instance_handle.hpp"
+#include "support/cancellation.hpp"
 
 /// Deterministic parallel batch execution -- the serving-scale layer over the
 /// SolverRegistry facade.
@@ -86,23 +87,9 @@ struct BatchItem {
   SolveError error;
 };
 
-/// Cooperative cancellation flag; copies share one underlying flag, so a
-/// caller can hand a token to run() and cancel from another thread. The
-/// shared flag is atomic -- no mutex to annotate; relaxed ordering suffices
-/// because cancellation is advisory (a late read only delays the skip by
-/// one job, it can never corrupt state).
-class CancelToken {
- public:
-  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
-
-  void cancel() noexcept { flag_->store(true, std::memory_order_relaxed); }
-  [[nodiscard]] bool cancelled() const noexcept {
-    return flag_->load(std::memory_order_relaxed);
-  }
-
- private:
-  std::shared_ptr<std::atomic<bool>> flag_;
-};
+// CancelToken lived here until the deadline work promoted it to
+// support/cancellation.hpp (included above), where CancelCheck and the typed
+// cancellation errors join it; run()'s contract is unchanged.
 
 struct BatchRunnerOptions {
   /// Worker threads; 0 means hardware_concurrency. More workers than jobs

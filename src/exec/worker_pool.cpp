@@ -39,6 +39,8 @@ void WorkerPool::post(std::function<void()> task) {
 
 void WorkerPool::wait_idle() {
   const LockGuard lock(mutex_);
+  // unblocked by: workers notifying idle_cv_ when the last task finishes,
+  // and shutdown() notifying after the join (queue cleared, running_ == 0).
   while (!queue_.empty() || running_ != 0) idle_cv_.wait(mutex_);
 }
 
@@ -74,6 +76,8 @@ void WorkerPool::worker_loop(unsigned index) noexcept {
     std::function<void()> task;
     {
       const LockGuard lock(mutex_);
+      // unblocked by: post() notifying work_cv_ per task, shutdown()
+      // notifying all with stopping_ set (the loop then drains and exits).
       while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = std::move(queue_.front());

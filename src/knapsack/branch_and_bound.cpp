@@ -17,6 +17,7 @@ struct SearchState {
   std::span<const KnapsackItem> items;  ///< sorted by profit density
   long long capacity;
   long long node_budget;
+  const CancelCheck* cancel;  ///< nullable; ticked once per explored node
   long long nodes{0};
   std::vector<char> chosen;
   std::vector<char> best_chosen;
@@ -46,6 +47,7 @@ void search(SearchState& state, std::size_t index, long long weight, long long p
   if (++state.nodes > state.node_budget) {
     throw std::runtime_error("knapsack_branch_and_bound: node budget exceeded");
   }
+  if (state.cancel != nullptr) state.cancel->tick();
   if (profit > state.best_profit) {
     state.best_profit = profit;
     state.best_chosen = state.chosen;
@@ -67,7 +69,8 @@ void search(SearchState& state, std::size_t index, long long weight, long long p
 }  // namespace
 
 KnapsackSelection knapsack_branch_and_bound(std::span<const KnapsackItem> items,
-                                            long long capacity, long long node_budget) {
+                                            long long capacity, long long node_budget,
+                                            const CancelCheck* cancel) {
   detail::validate_items(items);
   KnapsackSelection result;
   if (capacity < 0 || items.empty()) return result;
@@ -99,7 +102,7 @@ KnapsackSelection knapsack_branch_and_bound(std::span<const KnapsackItem> items,
     sorted[i] = items[static_cast<std::size_t>(order[i])];
   }
 
-  SearchState state{sorted, capacity, node_budget, 0,
+  SearchState state{sorted, capacity, node_budget, cancel, 0,
                     std::vector<char>(order.size(), 0),
                     std::vector<char>(order.size(), 0), 0};
   search(state, 0, 0, 0);

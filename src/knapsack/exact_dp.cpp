@@ -80,11 +80,13 @@ KnapsackSelection knapsack_exact(std::span<const KnapsackItem> items, long long 
 }
 
 KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items, long long capacity,
-                                      KnapsackScratch& scratch) {
+                                      KnapsackScratch& scratch, const CancelCheck* cancel) {
   if (knapsack_exact_exceeds_guard(items, capacity)) {
     // Same optimum, O(n) memory; only the tie-broken subset may differ from
-    // the DP's choice, and only on inputs the DP would have refused.
-    return knapsack_branch_and_bound(items, capacity);
+    // the DP's choice, and only on inputs the DP would have refused. The
+    // cancel probe matters exactly here -- the branch-and-bound fallback is
+    // the unbounded-time corner; the in-guard DP below is memory-capped.
+    return knapsack_branch_and_bound(items, capacity, 50'000'000, cancel);
   }
   return knapsack_exact(items, capacity, scratch);
 }

@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "support/cancellation.hpp"
+
 /// Knapsack solvers backing the paper's allotment selection (Section 4).
 ///
 /// The two-shelf construction chooses which tasks of S1 migrate to the
@@ -67,10 +69,13 @@ struct KnapsackScratch {
 [[nodiscard]] KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items,
                                                     long long capacity);
 
-/// As above, with caller-owned DP scratch for the in-guard path.
+/// As above, with caller-owned DP scratch for the in-guard path, and an
+/// optional borrowed cancellation probe forwarded to the branch-and-bound
+/// fallback (ticked per explored node; nullptr or unarmed changes nothing).
 [[nodiscard]] KnapsackSelection knapsack_exact_auto(std::span<const KnapsackItem> items,
                                                     long long capacity,
-                                                    KnapsackScratch& scratch);
+                                                    KnapsackScratch& scratch,
+                                                    const CancelCheck* cancel = nullptr);
 
 /// Fully polynomial approximation scheme: profit within (1 - eps) of optimal,
 /// weight within capacity, O(n^2 * n/eps) time via profit scaling [13].
@@ -91,10 +96,13 @@ struct KnapsackScratch {
 /// bound. Memory is O(n) (no DP table), so it complements the pseudo-
 /// polynomial DP when the capacity is huge; exponential worst-case time,
 /// bounded by `node_budget` explored nodes (throws std::runtime_error when
-/// exceeded).
+/// exceeded). `cancel`, when non-null and armed, is ticked once per explored
+/// node (strided -- see CancelCheck) so a deep search also stops on
+/// cancellation or deadline expiry.
 [[nodiscard]] KnapsackSelection knapsack_branch_and_bound(std::span<const KnapsackItem> items,
                                                           long long capacity,
-                                                          long long node_budget = 50'000'000);
+                                                          long long node_budget = 50'000'000,
+                                                          const CancelCheck* cancel = nullptr);
 
 /// Exact solver for the dual problem (P'): minimum total weight subset with
 /// profit >= demand. Returns std::nullopt when even all items together fall

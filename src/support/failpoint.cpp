@@ -1,0 +1,121 @@
+#include "support/failpoint.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/mutex.hpp"
+
+namespace malsched::failpoints {
+
+namespace {
+
+/// splitmix64 (Steele/Lea/Flood; public domain reference constants): one
+/// multiply-xorshift pass per draw, stateless in (seed, index) -- the whole
+/// reason probability draws replay exactly from the ArmSpec.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct Site {
+  ArmSpec spec;
+  std::uint64_t hit_count{0};  ///< hits observed since arm()
+  std::uint64_t fired{0};      ///< faults actually thrown
+};
+
+struct Registry {
+  Mutex mutex;
+  std::unordered_map<std::string, Site> sites MALSCHED_GUARDED_BY(mutex);
+  /// Fast path for unarmed traffic: hit() returns on one relaxed load.
+  /// disarm() of one site leaves it true (re-checking the map emptiness
+  /// would mean iterating or counting under the lock on every disarm for a
+  /// path only tests take); disarm_all() resets it.
+  std::atomic<bool> any_armed{false};
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+bool compiled_in() noexcept {
+#ifdef MALSCHED_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void arm(const std::string& site, ArmSpec spec) {
+  if (!compiled_in()) {
+    throw std::logic_error(
+        "failpoints: arm('" + site +
+        "') on a build without MALSCHED_FAILPOINTS (sites are compiled out)");
+  }
+  if (!(spec.probability >= 0.0) || !(spec.probability <= 1.0)) {
+    throw std::invalid_argument("failpoints: probability must lie in [0, 1]");
+  }
+  Registry& reg = registry();
+  const LockGuard lock(reg.mutex);
+  reg.sites[site] = Site{spec, 0, 0};
+  reg.any_armed.store(true, std::memory_order_release);
+}
+
+void disarm(const std::string& site) {
+  Registry& reg = registry();
+  const LockGuard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  // Keep the entry (hits() stays observable) but make it inert.
+  it->second.spec.fire = 0;
+  it->second.spec.probability = 0.0;
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  const LockGuard lock(reg.mutex);
+  reg.sites.clear();
+  reg.any_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& reg = registry();
+  const LockGuard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hit_count;
+}
+
+void hit(const char* site) {
+  Registry& reg = registry();
+  if (!reg.any_armed.load(std::memory_order_acquire)) return;
+  bool fire = false;
+  {
+    const LockGuard lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return;
+    Site& entry = it->second;
+    const std::uint64_t index = entry.hit_count++;
+    if (index < entry.spec.skip) return;
+    if (entry.fired >= entry.spec.fire) return;
+    if (entry.spec.probability < 1.0) {
+      // Deterministic per-hit draw: hash (seed, hit index) into [0, 1).
+      const double draw =
+          static_cast<double>(splitmix64(entry.spec.seed ^
+                                         index * 0x9E3779B97F4A7C15ULL) >>
+                              11) *
+          (1.0 / 9007199254740992.0);  // 2^-53
+      if (draw >= entry.spec.probability) return;
+    }
+    ++entry.fired;
+    fire = true;
+  }
+  // Thrown outside the lock: unwinding through a held registry mutex would
+  // be correct (RAII) but pointlessly extends the critical section.
+  if (fire) throw FailpointError{site};
+}
+
+}  // namespace malsched::failpoints

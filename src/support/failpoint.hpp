@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// Deterministic fault injection for robustness tests.
+///
+/// A *failpoint* is a named site in production code where a test can arm a
+/// fault; with nothing armed, a hit is one relaxed atomic load. The whole
+/// facility is compiled out when MALSCHED_FAILPOINTS is undefined (the
+/// MALSCHED_FAILPOINT macro expands to nothing and arm() throws), so a
+/// release build carries zero overhead and zero attack surface; the default
+/// CMake configuration keeps it ON so the regular test suites exercise the
+/// sites (see the MALSCHED_FAILPOINTS option in CMakeLists.txt).
+///
+/// Determinism: a site armed with probability p fires on a seeded
+/// splitmix64 sequence over its own hit counter -- never on a global RNG or
+/// the clock -- so a failing fault test replays exactly from (site, spec).
+/// Sites in the tree (grep MALSCHED_FAILPOINT for the ground truth):
+///
+///   service.dispatch    SchedulerService::run_job, before the solve
+///   cache.lookup        SolveCache::lookup, before the probe
+///   cache.insert        SolveCache::insert, before the memoization
+///   solver.entry        SolverRegistry::solve_impl, before dispatch
+///
+/// Thread safety: arm/disarm take the registry mutex; hit() reads an atomic
+/// fast-path flag first, so unarmed production traffic never touches the
+/// mutex. Tests arm from one thread before driving traffic.
+namespace malsched::failpoints {
+
+/// The exception an armed site throws; distinct from every solver error so
+/// tests can assert the fault they injected is the fault they observed.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint fired: " + site) {}
+};
+
+/// How an armed site behaves. Defaults: fire on every hit, forever.
+struct ArmSpec {
+  std::uint64_t skip{0};        ///< let this many hits pass before firing
+  std::uint64_t fire{~0ULL};    ///< then fire on at most this many hits
+  double probability{1.0};      ///< per-hit firing chance in [0, 1]
+  std::uint64_t seed{0};        ///< splitmix64 seed for probability < 1
+};
+
+/// True when the facility was compiled in (MALSCHED_FAILPOINTS); tests gate
+/// on this instead of duplicating the preprocessor condition.
+[[nodiscard]] bool compiled_in() noexcept;
+
+/// Arms `site`; replaces any existing spec (hit/fired counters reset).
+/// Throws std::logic_error when the facility is compiled out and
+/// std::invalid_argument on a probability outside [0, 1].
+void arm(const std::string& site, ArmSpec spec = {});
+
+/// Disarms `site`; unknown sites are a no-op. Counters are kept (hits()
+/// still reports traffic observed while armed).
+void disarm(const std::string& site);
+
+/// Disarms everything and clears all counters -- test fixtures call this in
+/// SetUp/TearDown so suites cannot leak armed sites into each other.
+void disarm_all();
+
+/// Hits observed at `site` since it was last armed (0 for unknown sites).
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+/// The instrumented call, named by the MALSCHED_FAILPOINT macro below.
+/// Counts the hit and throws FailpointError when the armed spec says fire.
+void hit(const char* site);
+
+}  // namespace malsched::failpoints
+
+#ifdef MALSCHED_FAILPOINTS
+#define MALSCHED_FAILPOINT(site) ::malsched::failpoints::hit(site)
+#else
+#define MALSCHED_FAILPOINT(site) ((void)0)
+#endif

@@ -1,0 +1,24 @@
+// Lint fixture: an unbounded CondVar wait loop with no documented wake
+// contract. Without an `unblocked by:` comment naming every notifying path
+// (including the shutdown/cancel one), nothing forces the author to prove
+// the loop can exit -- the classic drain()/shutdown() hang.
+// lint:expect(cv-wait-predicate)
+#include "support/mutex.hpp"
+
+namespace {
+malsched::Mutex fixture_mutex;
+malsched::CondVar fixture_cv_;
+bool fixture_ready = false;
+}  // namespace
+
+void fixture_wait_undocumented() {
+  const malsched::LockGuard lock(fixture_mutex);
+  while (!fixture_ready) fixture_cv_.wait(fixture_mutex);
+}
+
+void fixture_wait_documented() {
+  const malsched::LockGuard lock(fixture_mutex);
+  // unblocked by: fixture_release() notifying after setting fixture_ready,
+  // and fixture_shutdown() notifying all with the flag forced true.
+  while (!fixture_ready) fixture_cv_.wait(fixture_mutex);
+}

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
@@ -585,8 +586,11 @@ TEST(SchedulerService, CancellationMidStreamDeliversInOrder) {
   const auto doomed = service.submit({"seq", {}, small_instance(33)});
   gate->wait_entered();
 
-  EXPECT_TRUE(service.cancel(doomed));    // still queued: cancels
-  EXPECT_FALSE(service.cancel(running));  // already running: refused
+  EXPECT_TRUE(service.cancel(doomed));  // still queued: cancels
+  // Running: the request is DELIVERED (true) -- but the gate solver never
+  // polls its token, so its real kOk outcome stands below (cooperative
+  // cancellation is best-effort by construction).
+  EXPECT_TRUE(service.cancel(running));
   // Cancelled outcome is observable immediately via poll ...
   ASSERT_TRUE(service.poll(doomed).has_value());
   EXPECT_EQ(service.poll(doomed)->status, BatchItemStatus::kCancelled);
@@ -605,6 +609,151 @@ TEST(SchedulerService, CancellationMidStreamDeliversInOrder) {
 
   EXPECT_FALSE(service.cancel(pending));  // terminal: refused
   EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+/// Cancellation-aware blocking solver for the dedup-cancel regressions:
+/// spins on an atomic gate, polling the SolveContext cancel check, so a
+/// fired CancelToken actually stops it (the CondVar Gate above never could).
+SolverRegistry polling_registry(const std::shared_ptr<std::atomic<bool>>& entered,
+                                const std::shared_ptr<std::atomic<bool>>& open) {
+  SolverRegistry registry;
+  registry.add_with_context(
+      "block", "spins until released or cancelled",
+      [entered, open](const Instance& instance, const SolverOptions&,
+                      const SolveContext& context) -> SolverResult {
+        const CancelCheck check(context.cancel, context.deadline_seconds);
+        entered->store(true);
+        while (!open->load()) {
+          check.poll();  // throws CancelledError once cancel() fires
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return SolverResult{"", sequential_schedule(instance), 0, 0, 0, 0, {}};
+      });
+  return registry;
+}
+
+// Regression: cancelling a dedup LEADER must not strand its joiners -- the
+// cancelled outcome fans out to every joined ticket through finish().
+TEST(SchedulerService, CancelledLeaderDeliversCancelledOutcomesToJoiners) {
+  const auto entered = std::make_shared<std::atomic<bool>>(false);
+  const auto open = std::make_shared<std::atomic<bool>>(false);
+  const auto registry = polling_registry(entered, open);
+  ServiceOptions options;
+  options.threads = 2;
+  options.registry = &registry;
+  SchedulerService service(options);
+
+  const auto handle = InstanceHandle::intern(small_instance(44));
+  const SolveRequest request{"block", {}, handle};
+  const auto leader = service.submit(request);
+  while (!entered->load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto joiner = service.submit(request);  // identical: coalesces
+  while (service.stats().dedup_joins == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_TRUE(service.cancel(leader));  // fires the leader's token
+  const JobOutcome leader_outcome = service.wait(leader);
+  EXPECT_EQ(leader_outcome.status, BatchItemStatus::kCancelled);
+  EXPECT_EQ(leader_outcome.error.code, SolveErrorCode::kCancelled);
+  const JobOutcome joined_outcome = service.wait(joiner);
+  EXPECT_EQ(joined_outcome.status, BatchItemStatus::kCancelled);
+  EXPECT_TRUE(joined_outcome.dedup_join);  // coalesced, not stranded
+  EXPECT_EQ(service.stats().cancelled, 2u);
+  service.drain();
+}
+
+// The complementary direction: cancelling a JOINER detaches just that
+// ticket; the leader keeps solving and completes normally.
+TEST(SchedulerService, CancelDetachesAJoinerWithoutDisturbingTheLeader) {
+  const auto entered = std::make_shared<std::atomic<bool>>(false);
+  const auto open = std::make_shared<std::atomic<bool>>(false);
+  const auto registry = polling_registry(entered, open);
+  ServiceOptions options;
+  options.threads = 2;
+  options.registry = &registry;
+  SchedulerService service(options);
+
+  const auto handle = InstanceHandle::intern(small_instance(45));
+  const SolveRequest request{"block", {}, handle};
+  const auto leader = service.submit(request);
+  while (!entered->load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto joiner = service.submit(request);
+  while (service.stats().dedup_joins == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_TRUE(service.cancel(joiner));
+  const JobOutcome joined_outcome = service.wait(joiner);  // terminal NOW
+  EXPECT_EQ(joined_outcome.status, BatchItemStatus::kCancelled);
+  open->store(true);  // release the (undisturbed) leader
+  const JobOutcome leader_outcome = service.wait(leader);
+  EXPECT_EQ(leader_outcome.status, BatchItemStatus::kOk);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.dedup_joins, 1u);
+  service.drain();
+}
+
+// Regression for the shutdown/drain ordering contract: shutdown() must not
+// return while an OFF-POOL deliverer (here: a submit-time cache hit on a
+// caller thread) still has the last streamed callback in flight.
+TEST(SchedulerService, ShutdownWaitsForAnOffPoolDelivererToFinishTheStream) {
+  ServiceOptions options;
+  options.threads = 1;
+  SchedulerService service(options);
+  std::atomic<bool> in_callback{false};
+  std::atomic<int> streamed{0};
+  service.on_result([&](const JobOutcome& outcome) {
+    if (outcome.cache_hit) {
+      in_callback.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ++streamed;
+  });
+  const auto handle = InstanceHandle::intern(small_instance(83));
+  const SolveRequest request{"naive", SolverOptions::from_string("policy=lpt-seq"), handle};
+  static_cast<void>(service.wait(service.submit(request)));
+  service.drain();  // the real solve is delivered by the worker
+  std::thread hitter([&service, &request] {
+    // Submit-time cache hit: THIS thread becomes the deliverer and sleeps
+    // inside the callback above.
+    static_cast<void>(service.submit(request));
+  });
+  while (!in_callback.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  service.shutdown();
+  // The contract: when shutdown() returns, the stream is complete -- even
+  // though the deliverer was never a pool thread the shutdown join covers.
+  EXPECT_EQ(streamed.load(), 2);
+  EXPECT_EQ(service.stats().delivered, 2u);
+  hitter.join();
+}
+
+// ServiceConfig::validate() must reject the robustness knobs' invalid
+// combinations at construction, each with a readable message.
+TEST(SchedulerService, ConfigRejectsBadRobustnessKnobs) {
+  ServiceOptions negative_depth;
+  negative_depth.max_queue_depth = -1;
+  EXPECT_THROW(SchedulerService{negative_depth}, std::invalid_argument);
+
+  ServiceOptions unknown_policy;
+  unknown_policy.overload_policy = "drop_everything";
+  EXPECT_THROW(SchedulerService{unknown_policy}, std::invalid_argument);
+
+  ServiceOptions degrade_without_fallback;
+  degrade_without_fallback.overload_policy = "degrade";
+  EXPECT_THROW(SchedulerService{degrade_without_fallback}, std::invalid_argument);
+
+  ServiceOptions unregistered_fallback;
+  unregistered_fallback.fallback_solver = "definitely_not_registered";
+  EXPECT_THROW(SchedulerService{unregistered_fallback}, std::invalid_argument);
+
+  ServiceOptions good;
+  good.max_queue_depth = 4;
+  good.overload_policy = "degrade";
+  good.fallback_solver = "two_phase";  // registered in the global registry
+  EXPECT_NO_THROW(SchedulerService{good});
 }
 
 // The documented cancel-inside-the-callback case: delivery is re-entrant

@@ -383,6 +383,56 @@ TEST(ServiceConfigTest, BothTiersRejectInvalidConfigsAtConstruction) {
                std::invalid_argument);
 }
 
+TEST(ServiceConfigTest, BothTiersRejectBadRobustnessKnobs) {
+  ServiceConfig negative_depth;
+  negative_depth.max_queue_depth = -3;
+  const auto depth_errors = negative_depth.validate();
+  ASSERT_EQ(depth_errors.size(), 1u);
+  EXPECT_NE(depth_errors[0].find("max_queue_depth"), std::string::npos);
+  EXPECT_THROW(SchedulerService{negative_depth}, std::invalid_argument);
+  EXPECT_THROW(ShardedSchedulerService(negative_depth, 2), std::invalid_argument);
+
+  ServiceConfig unknown_policy;
+  unknown_policy.overload_policy = "panic";
+  EXPECT_EQ(unknown_policy.validate().size(), 1u);
+  EXPECT_THROW(SchedulerService{unknown_policy}, std::invalid_argument);
+  EXPECT_THROW(ShardedSchedulerService(unknown_policy, 2), std::invalid_argument);
+
+  ServiceConfig degrade_without_fallback;
+  degrade_without_fallback.overload_policy = "degrade";
+  EXPECT_EQ(degrade_without_fallback.validate().size(), 1u);
+  EXPECT_THROW(ShardedSchedulerService(degrade_without_fallback, 2), std::invalid_argument);
+
+  ServiceConfig unregistered_fallback;
+  unregistered_fallback.fallback_solver = "not_a_solver";
+  const auto fallback_errors = unregistered_fallback.validate();
+  ASSERT_EQ(fallback_errors.size(), 1u);
+  EXPECT_NE(fallback_errors[0].find("fallback_solver"), std::string::npos);
+  EXPECT_THROW(ShardedSchedulerService(unregistered_fallback, 2), std::invalid_argument);
+
+  // The effective registry is the CONFIGURED one: a fallback missing from a
+  // custom registry is rejected even if the global registry has it, and a
+  // custom solver unknown to the global registry validates fine.
+  SolverRegistry custom;
+  custom.add("fast", "custom fallback", [](const Instance& instance, const SolverOptions&) {
+    return SolverResult{"", Schedule(instance.machines(), instance.size()), 0, 0, 0, 0, {}};
+  });
+  ServiceConfig custom_ok;
+  custom_ok.registry = &custom;
+  custom_ok.overload_policy = "degrade";
+  custom_ok.fallback_solver = "fast";
+  custom_ok.max_queue_depth = 1;
+  EXPECT_TRUE(custom_ok.validate().empty());
+  ServiceConfig custom_missing = custom_ok;
+  custom_missing.fallback_solver = "two_phase";  // global-only name
+  EXPECT_EQ(custom_missing.validate().size(), 1u);
+
+  ServiceConfig good;
+  good.max_queue_depth = 8;
+  good.overload_policy = "shed_oldest";
+  EXPECT_NO_THROW(ShardedSchedulerService(good, 2));
+}
+
 // ----------------------------------------------------------- typed errors
 
 TEST(ShardedService, ErrorTaxonomyClassifiesFailureAndInvalidOption) {

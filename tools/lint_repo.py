@@ -28,6 +28,12 @@ conventions the codebase actually depends on:
                         Library code reports through return values and
                         support/json.hpp|table.hpp; snprintf stays legal
                         (json.cpp formats floats with it, bounded).
+  cv-wait-predicate     a CondVar `.wait(` in library code without an
+                        `unblocked by:` comment within the three lines
+                        above naming every notifying path (including the
+                        shutdown/cancel one). An undocumented unbounded
+                        wait is how drain()/shutdown() hangs are born; the
+                        comment forces the author to enumerate the wakers.
 
 Suppress a single finding with `// lint:allow(<rule>)` on the same line or
 the line directly above. File-level rules (pragma-once) accept the
@@ -171,6 +177,22 @@ TOKEN_RULES = [
 UNORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\)")
 
+# cv-wait-predicate: a `.wait(` on a condition variable (the repo convention
+# names them *cv*: work_cv_, done_cv_, idle_cv_) must sit within three raw
+# lines of an `unblocked by:` comment enumerating every notifying path --
+# including the shutdown/cancel one, which is the waker people forget and
+# the reason drain()/shutdown() hangs happen. The receiver-name match keeps
+# unrelated waits (service.wait(ticket), thread.join-style APIs) out of
+# scope. Checked against the RAW text (the doc lives in a comment, which
+# strip_code() blanks), unlike the token rules.
+CV_WAIT_RE = re.compile(r"\b[A-Za-z_]\w*cv\w*\s*\.\s*wait\s*\(")
+CV_WAIT_SCOPE = ("src",)
+# The annotated wrapper itself adapts std::condition_variable_any; its wait()
+# is the primitive the contract is ABOUT, not a use of it.
+CV_WAIT_ALLOWLIST = {os.path.join("src", "support", "mutex.hpp")}
+CV_WAIT_DOC_WINDOW = 3  # raw lines above the wait that may carry the doc
+CV_WAIT_DOC = "unblocked by"
+
 # One doc line per rule id: a rule implemented by several patterns (like
 # legacy-api) merges its docs with " / ".
 RULE_DOCS = []
@@ -185,6 +207,8 @@ RULE_DOCS = [tuple(entry) for entry in RULE_DOCS] + [
     ("unordered-iteration",
      "range-for over a std::unordered_{map,set} declared in the same file"),
     ("pragma-once", "every .hpp must contain #pragma once"),
+    ("cv-wait-predicate",
+     "CondVar .wait() without an 'unblocked by:' comment within 3 lines"),
 ]
 
 
@@ -245,6 +269,22 @@ def lint_file(path, rel, strict):
                         f"'{match.group(1)}' is an unordered container; hash-order "
                         "iteration leaks nondeterminism into output -- iterate a "
                         "sorted copy"))
+
+    cv_armed = strict or (
+        rel.startswith(tuple(s + os.sep for s in CV_WAIT_SCOPE)) and
+        rel not in CV_WAIT_ALLOWLIST)
+    if cv_armed:
+        raw_lines = text.splitlines()
+        for lineno, line in enumerate(code_lines, 1):
+            if not CV_WAIT_RE.search(line) or allowed(lineno, "cv-wait-predicate"):
+                continue
+            window = raw_lines[max(0, lineno - 1 - CV_WAIT_DOC_WINDOW):lineno]
+            if not any(CV_WAIT_DOC in raw for raw in window):
+                violations.append(Violation(
+                    rel, lineno, "cv-wait-predicate",
+                    "CondVar wait without a documented wake contract; add an "
+                    "'unblocked by:' comment within 3 lines above naming every "
+                    "notifying path, including the shutdown/cancel one"))
 
     if rel.endswith((".hpp", ".h", ".hh")) and "#pragma once" not in code:
         if not any("pragma-once" in rules for rules in allows.values()):
