@@ -58,14 +58,20 @@ namespace {
 
 using namespace malsched;
 
-// v6 (robustness): cases gain "fallback_used" (whether the service answered
-// the case with the configured degradation fallback solver; null on
-// contention rows), the run summary gains "deadline_misses" and "fallbacks"
-// (ServiceStats counters over the grid phase), and error_code admits the new
-// deadline_exceeded/rejected classes. v5 (sharded serving) added the
-// contention-row fields "shard"/"qps"/"digest" (null for grid cases); v4
-// "dedup_join"; v3 "cache_hit" and service-path wall_seconds.
-constexpr int kSchemaVersion = 6;
+// v7 (open-loop load): the schema now also describes bench_load's
+// LOAD_<rev>.json artifacts via OPTIONAL per-case fields (process,
+// offered_qps, policy, queue_discipline, requests, completed,
+// deadline_miss_rate / shed_rate / fallback_rate, queue_depth_high_water,
+// fast_path_hits, trace_digest, latency_histogram) plus an optional
+// top-level saturation_qps -- this suite's rows are unchanged, only the
+// version pin moves. v6 (robustness): cases gained "fallback_used" (whether
+// the service answered the case with the configured degradation fallback
+// solver; null on contention rows), the run summary "deadline_misses" and
+// "fallbacks" (ServiceStats counters over the grid phase), and error_code
+// admits the deadline_exceeded/rejected classes. v5 (sharded serving) added
+// the contention-row fields "shard"/"qps"/"digest" (null for grid cases);
+// v4 "dedup_join"; v3 "cache_hit" and service-path wall_seconds.
+constexpr int kSchemaVersion = 7;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {

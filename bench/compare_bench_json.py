@@ -24,7 +24,12 @@ behavior, not solver performance. Shard-bearing (contention) cells are
 likewise printed but never flagged: they are closed-loop throughput sweeps
 whose wall time tracks host load and core count, and their artifact
 contract is the outcome digest (enforced by bench_suite itself), not the
-wall clock.
+wall clock. The same exemption covers v7 latency-histogram cells
+(bench_load's open-loop replay rows): their wall_seconds is the replay
+horizon -- a function of the trace, not the solver -- and their latency
+percentiles track host load; their contract is the reference-solve digest
+and trace_digest, both enforced by bench_load itself. They are printed
+informationally and never flagged.
 
 Exit status: 0 when no cell regressed, 1 on a wall-clock regression beyond
 the threshold, 2 on usage/IO errors. CI runs this informationally
@@ -45,6 +50,9 @@ def load_cells(path):
     answered without a fresh dispatch. Absent (older artifacts) or null
     counts as not-served, so pre-cache baselines read as a 0.0 fraction.
     shard (v5) is None on grid cases; pre-v5 artifacts read as all-None.
+    Cells with any v7 latency-histogram (open-loop load) case are marked
+    informational: wall time there measures the replay horizon, not solver
+    cost.
     """
     try:
         with open(path, encoding="utf-8") as f:
@@ -58,11 +66,14 @@ def load_cells(path):
             continue
         key = (case.get("config", case.get("solver", "?")), case.get("family", "?"),
                case.get("shard"))
-        cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "hits": 0.0, "count": 0})
+        cell = sums.setdefault(key, {"wall": 0.0, "ratio": 0.0, "hits": 0.0, "count": 0,
+                                     "load": False})
         cell["wall"] += case["wall_seconds"]
         cell["ratio"] += case.get("ratio") or 0.0
         cell["hits"] += 1.0 if (case.get("cache_hit") or case.get("dedup_join")) else 0.0
         cell["count"] += 1
+        if "latency_histogram" in case:
+            cell["load"] = True
     for cell in sums.values():
         cell["wall"] /= cell["count"]
         cell["ratio"] /= cell["count"]
@@ -126,11 +137,14 @@ def main(argv):
         delta = (new_cell["wall"] - old_cell["wall"]) / old_cell["wall"] \
             if old_cell["wall"] > 0 else 0.0
         hits_changed = abs(new_cell["hits"] - old_cell["hits"]) > 1e-9
+        is_load = old_cell["load"] or new_cell["load"]
         regressed = (delta > threshold and old_cell["wall"] >= min_wall and not hits_changed
-                     and key[2] is None)
+                     and key[2] is None and not is_load)
         flag = " <-- REGRESSION" if regressed else ""
         if hits_changed and delta > threshold:
             flag = " (wall delta tracks served-fraction change; exempt)"
+        elif is_load and delta > threshold:
+            flag = " (open-loop load cell; informational)"
         if regressed:
             regressions.append(key)
         print(f"{key[0]:<18} {fam_label(key):<16} {old_cell['wall'] * 1e3:>9.3f}m {new_cell['wall'] * 1e3:>9.3f}m "

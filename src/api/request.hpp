@@ -128,6 +128,11 @@ struct SolveOutcome {
   /// one (overload_policy = "degrade": queue past the watermark, or the
   /// primary solve's deadline expired and the fast fallback answered).
   bool fallback_used{false};
+  /// Solved inline on the submitting thread by the small-instance fast path
+  /// (ServiceConfig::fast_path_max_tasks): the request never entered the
+  /// queue or touched a worker. Mutually exclusive with cache_hit and
+  /// dedup_join -- a fast-path probe that hits the cache reports cache_hit.
+  bool fast_path{false};
   /// Pool worker that produced (or served) the result; -1 when the outcome
   /// was produced off-pool (cancellation, shutdown, or a submit-time cache
   /// hit served inline on the submitting thread).

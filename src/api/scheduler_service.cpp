@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -101,6 +102,7 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request,
   }
   const std::uint64_t id = slots_.size();
   ++stats_.submitted;
+  if (ready.has_value() && ready->fast_path) ++stats_.fast_path_hits;
   if (ready.has_value()) {
     // Submit-time cache hit: the slot is born terminal -- no closure is ever
     // posted, so a hit costs lock work on the calling thread instead of two
@@ -183,11 +185,64 @@ JobTicket SchedulerService::enqueue_locked(SolveRequest request,
   queued.degraded = degraded;
   slots_.push_back(std::move(queued));
   ++queued_depth_;
+  if (static_cast<std::uint64_t>(queued_depth_) > stats_.queue_depth_high_water) {
+    stats_.queue_depth_high_water = static_cast<std::uint64_t>(queued_depth_);
+  }
+  push_ready_locked(id, deadline);
   // Posting under the state lock is safe (the pool never calls back into the
   // service while holding its own lock) and makes accepting_ imply a live
-  // pool, so this post cannot throw.
-  pool_.post([this, id] { run_job(id); });
+  // pool, so this post cannot throw. The closure is discipline-agnostic:
+  // which job it runs is decided at POP time, so an earlier-deadline job
+  // submitted later can overtake this one under edf.
+  pool_.post([this] { run_next(); });
   return JobTicket{id};
+}
+
+bool SchedulerService::dispatches_after(const ReadyEntry& a, const ReadyEntry& b) noexcept {
+  if (a.key != b.key) return a.key > b.key;
+  return a.id > b.id;
+}
+
+void SchedulerService::push_ready_locked(std::uint64_t id, double deadline) {
+  if (options_.queue_discipline == "edf") {
+    // Deadline-less jobs carry +inf: behind every dated job, FIFO among
+    // themselves through the ticket tiebreak in dispatches_after().
+    ready_edf_.push_back(
+        ReadyEntry{deadline > 0.0 ? deadline : std::numeric_limits<double>::infinity(), id});
+    std::push_heap(ready_edf_.begin(), ready_edf_.end(), dispatches_after);
+  } else {
+    ready_fifo_.push_back(id);
+  }
+}
+
+bool SchedulerService::pop_ready_locked(std::uint64_t& id) {
+  if (options_.queue_discipline == "edf") {
+    while (!ready_edf_.empty()) {
+      std::pop_heap(ready_edf_.begin(), ready_edf_.end(), dispatches_after);
+      id = ready_edf_.back().id;
+      ready_edf_.pop_back();
+      if (slots_[id].state == JobState::kQueued) return true;
+    }
+  } else {
+    while (!ready_fifo_.empty()) {
+      id = ready_fifo_.front();
+      ready_fifo_.pop_front();
+      if (slots_[id].state == JobState::kQueued) return true;
+    }
+  }
+  return false;  // only stale entries (cancelled/shed/shutdown) remained
+}
+
+void SchedulerService::run_next() {
+  std::uint64_t id = 0;
+  {
+    const LockGuard lock(mutex_);
+    if (!pop_ready_locked(id)) return;
+  }
+  // The popped job was kQueued under the lock; a cancel() racing this gap is
+  // caught by run_job's own re-check (the entry is consumed either way, and
+  // the cancelled job needs no run -- it is already terminal).
+  run_job(id);
 }
 
 std::optional<SolveOutcome> SchedulerService::peek_cache(const SolveRequest& request) {
@@ -218,8 +273,71 @@ std::optional<SolveOutcome> SchedulerService::peek_cache(const SolveRequest& req
   return outcome;
 }
 
+std::optional<SolveOutcome> SchedulerService::try_fast_path(const SolveRequest& request) {
+  if (options_.fast_path_max_tasks <= 0 || !request.instance.valid()) return std::nullopt;
+  if (static_cast<long long>(request.instance.instance().size()) >
+      options_.fast_path_max_tasks) {
+    return std::nullopt;
+  }
+  const Stopwatch stopwatch;
+  SolveOutcome outcome;
+  outcome.worker = WorkerPool::current_worker();  // -1: solved off-pool
+  const bool use_cache = request.use_cache && cache_.enabled();
+  std::optional<SolveCache::Key> key;
+  if (use_cache) {
+    // COUNTED lookup, unlike peek_cache: the fast path is the authoritative
+    // serving of this request -- there is no dispatch-time retry behind it --
+    // so the one-hit-or-one-miss invariant books the miss here.
+    key = SolveCache::make_key(request.solver, request.options, request.instance);
+    std::shared_ptr<const SolverResult> cached;
+    try {
+      cached = cache_.lookup(*key);
+    } catch (...) {
+      cache_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cached != nullptr) {
+      outcome.status = SolveStatus::kOk;
+      outcome.result = *cached;  // copied outside the cache lock
+      outcome.cache_hit = true;  // a hit is a hit, fast path or not
+      outcome.wall_seconds = stopwatch.seconds();
+      return outcome;
+    }
+  }
+  // Inline solve on the submitting thread. The deadline is anchored here
+  // (submit IS admission for this path) and enforced cooperatively inside
+  // the solve; there is no CancelToken -- cancel() can never see this job,
+  // it is terminal before submit() returns. No dedup either (an inline
+  // solve cannot wait on a leader), and no degrade retry: the fast path is
+  // already the bounded-work answer.
+  const double deadline =
+      merge_deadlines(request.deadline_seconds, budget_deadline(request.budget_seconds));
+  SolveContext context;
+  context.deadline_seconds = deadline;
+  outcome.fast_path = true;
+  try {
+    outcome.result = registry_->solve(request, context);
+    outcome.status = SolveStatus::kOk;
+  } catch (const std::exception& err) {
+    outcome.status = SolveStatus::kError;
+    outcome.error = classify_solve_exception(err);
+  } catch (...) {
+    outcome.status = SolveStatus::kError;
+    outcome.error = {SolveErrorCode::kSolverFailure, "non-standard exception"};
+  }
+  if (outcome.status == SolveStatus::kOk && use_cache) {
+    try {
+      cache_.insert(*key, *outcome.result);
+    } catch (...) {
+      cache_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  outcome.wall_seconds = stopwatch.seconds();
+  return outcome;
+}
+
 JobTicket SchedulerService::submit(SolveRequest request) {
-  std::optional<SolveOutcome> ready = peek_cache(request);
+  std::optional<SolveOutcome> ready = try_fast_path(request);
+  if (!ready.has_value()) ready = peek_cache(request);
   bool born_terminal = false;
   JobTicket ticket;
   {
@@ -249,7 +367,9 @@ std::vector<JobTicket> SchedulerService::submit(std::vector<SolveRequest> reques
   std::vector<std::optional<SolveOutcome>> ready;
   ready.reserve(requests.size());
   for (const auto& request : requests) {
-    ready.push_back(peek_cache(request));
+    std::optional<SolveOutcome> served = try_fast_path(request);
+    if (!served.has_value()) served = peek_cache(request);
+    ready.push_back(std::move(served));
   }
   std::vector<JobTicket> tickets;
   tickets.reserve(requests.size());
@@ -769,6 +889,11 @@ void SchedulerService::shutdown() {
       count_terminal_locked(slot.outcome);
       --queued_depth_;
     }
+    // Every remaining ready entry is now stale (its job just turned
+    // terminal) and its closure will be discarded by pool_.shutdown() below;
+    // drop the structures rather than leaving dead weight behind.
+    ready_fifo_.clear();
+    ready_edf_.clear();
   }
   done_cv_.notify_all();
   // Running solves finish (their closures already left the queue; in-flight

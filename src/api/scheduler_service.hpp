@@ -85,6 +85,17 @@
 ///    flagged to run on the configured fast `fallback_solver` (cache/dedup
 ///    skipped, `fallback_used` provenance). Degrade also retries a
 ///    deadline-expired primary solve once on the fallback.
+///  * **Queue discipline** -- ServiceConfig::queue_discipline picks the
+///    DISPATCH order of queued jobs: "fifo" (default, submission order) or
+///    "edf" (earliest merged deadline first; deadline-less jobs FIFO behind
+///    every dated one, ticket-tiebroken, so without deadlines "edf" behaves
+///    byte-identically to "fifo"). Only dispatch reorders -- delivery to
+///    the stream stays strictly ticket-ordered under both.
+///  * **Small-instance fast path** -- with ServiceConfig::fast_path_max_tasks
+///    > 0, a request whose instance is at or under the threshold is solved
+///    inline on the submitting thread (queue, admission control, and
+///    workers bypassed; normal cache accounting; `fast_path` provenance,
+///    worker -1) and its slot is born terminal, like a submit-time hit.
 ///
 /// Cache-miss solves additionally reuse per-worker mrt scratch: each worker
 /// keeps the DualWorkspace of the last instance it solved and hands it to
@@ -181,6 +192,15 @@ struct ServiceStats {
   std::uint64_t deadline_misses{0};
   std::uint64_t fallbacks{0};
   std::uint64_t cache_failures{0};
+  /// Deepest the pending-job queue has ever been (post-admission). The
+  /// overload observable without the bench harness: a high-water mark near
+  /// max_queue_depth says admission control is doing the limiting. Summed
+  /// across shards on the sharded tier, like every other field.
+  std::uint64_t queue_depth_high_water{0};
+  /// Requests answered inline by the small-instance fast path
+  /// (fast_path_max_tasks); submit-time cache hits are counted as cache
+  /// hits, not here.
+  std::uint64_t fast_path_hits{0};
 };
 
 /// Pre-v2 per-submit flags; SolveRequest::use_cache carries this now.
@@ -291,6 +311,12 @@ class SchedulerService {
     std::uint64_t join_leader{0};       ///< leader ticket this slot coalesced on
   };
 
+  /// One pending job in the dispatch order structure (see ready_edf_).
+  struct ReadyEntry {
+    double key{0.0};  ///< absolute merged deadline; +inf for deadline-less
+    std::uint64_t id{0};
+  };
+
   /// One coalescing point: the leader's key plus everyone who joined it.
   struct Inflight {
     struct Joiner {
@@ -318,7 +344,33 @@ class SchedulerService {
   /// SolveCache::lookup(key, count_miss).
   [[nodiscard]] std::optional<SolveOutcome> peek_cache(const SolveRequest& request)
       MALSCHED_EXCLUDES(mutex_);
+  /// Small-instance fast path (ServiceConfig::fast_path_max_tasks): solves
+  /// an eligible request synchronously on the CALLING thread and returns its
+  /// born-terminal outcome; nullopt when the fast path is off or the
+  /// instance is too large. The cache is consulted with NORMAL accounting
+  /// (lookup counts the miss -- this path IS the authoritative lookup, there
+  /// is no dispatch-time retry behind it) and populated on success; dedup is
+  /// skipped. Runs before peek_cache() in submit(), so the
+  /// one-hit-or-one-miss invariant holds for fast-path requests too.
+  [[nodiscard]] std::optional<SolveOutcome> try_fast_path(const SolveRequest& request)
+      MALSCHED_EXCLUDES(mutex_);
   void run_job(std::uint64_t id) MALSCHED_EXCLUDES(mutex_);
+  /// Pool closure body under a queue discipline: pops the next dispatchable
+  /// job from the ready structure and runs it. Closures and ready entries
+  /// are pushed 1:1 (each enqueue posts one of each), and a closure consumes
+  /// at most one live entry, so no live entry is ever stranded without a
+  /// closure to run it; entries whose slot already left kQueued (cancelled,
+  /// shed, shut down) are skipped as stale.
+  void run_next() MALSCHED_EXCLUDES(mutex_);
+  void push_ready_locked(std::uint64_t id, double deadline) MALSCHED_REQUIRES(mutex_);
+  /// Heap order for ready_edf_: true when `a` dispatches AFTER `b`. Under
+  /// std::push_heap/pop_heap this puts the earliest deadline (then the
+  /// smallest ticket) at the front. Pure on the entries -- it never reads
+  /// guarded state, so the heap calls stay analysis-clean.
+  [[nodiscard]] static bool dispatches_after(const ReadyEntry& a, const ReadyEntry& b) noexcept;
+  /// Pops the next live (still-kQueued) entry into `id`; false when only
+  /// stale entries (or nothing) remained.
+  [[nodiscard]] bool pop_ready_locked(std::uint64_t& id) MALSCHED_REQUIRES(mutex_);
   /// Runs `options_.fallback_solver` on the request's instance with EMPTY
   /// options, no cache/dedup, no deadline; the outcome carries
   /// `fallback_used` and the serving wall measured by `stopwatch` (the
@@ -351,6 +403,16 @@ class SchedulerService {
   /// shed_oldest scan cursor: every slot below it is known non-queued
   /// (states only move forward), so repeated sheds stay amortized O(1).
   std::uint64_t shed_hint_ MALSCHED_GUARDED_BY(mutex_){0};
+  /// Dispatch-order structures (exactly one is used, per queue_discipline;
+  /// see run_next() for the closure/entry accounting). Entries are lazily
+  /// invalidated: a job that turns terminal while queued (cancel, shed,
+  /// shutdown) leaves its entry behind and the dequeue skips it.
+  /// fifo: ticket ids in submission order.
+  std::deque<std::uint64_t> ready_fifo_ MALSCHED_GUARDED_BY(mutex_);
+  /// edf: min-heap on (deadline, ticket) -- deadline-less entries carry +inf
+  /// so they sort behind every dated one, and the ticket tiebreak keeps
+  /// equal keys in submission order.
+  std::vector<ReadyEntry> ready_edf_ MALSCHED_GUARDED_BY(mutex_);
   /// Cache lookup/insert exceptions absorbed. Atomic, not mutex_-guarded:
   /// peek_cache() runs on the submit thread without mutex_ by design.
   std::atomic<std::uint64_t> cache_failures_{0};

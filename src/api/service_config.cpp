@@ -39,6 +39,14 @@ std::vector<std::string> ServiceConfig::validate() const {
         "overload_policy = \"degrade\" needs a fallback_solver to degrade onto "
         "(e.g. \"two_phase\")");
   }
+  if (queue_discipline != "fifo" && queue_discipline != "edf") {
+    errors.push_back("queue_discipline = \"" + queue_discipline +
+                     "\" is not one of fifo/edf");
+  }
+  if (fast_path_max_tasks < 0) {
+    errors.push_back("fast_path_max_tasks = " + std::to_string(fast_path_max_tasks) +
+                     " is negative; use 0 to disable the fast path");
+  }
   if (!fallback_solver.empty()) {
     const SolverRegistry& effective = registry != nullptr ? *registry : SolverRegistry::global();
     if (!effective.contains(fallback_solver)) {

@@ -65,6 +65,31 @@ struct ServiceConfig {
   /// and would fail the fallback's schema.
   std::string fallback_solver;
 
+  // ---------------------------------------------------- queue discipline
+  /// Order in which queued jobs are dispatched to workers:
+  ///   "fifo" submission (ticket) order -- the default, byte-identical to
+  ///          the pre-discipline service;
+  ///   "edf"  earliest absolute deadline first (the request's merged
+  ///          budget/deadline, anchored at submit). Deadline-less requests
+  ///          sort behind every deadline-carrying one, and ties (equal
+  ///          deadlines, or two deadline-less requests) break on the
+  ///          smaller ticket -- so with no deadlines set anywhere, "edf"
+  ///          dispatches exactly like "fifo" and outcomes are
+  ///          byte-identical. Delivery order is unaffected either way
+  ///          (the stream is always ticket-ordered).
+  std::string queue_discipline{"fifo"};
+
+  // ------------------------------------------------------- fast path
+  /// Submit-time small-instance fast path: a request whose instance has at
+  /// most this many tasks is solved synchronously ON THE SUBMITTING THREAD,
+  /// bypassing the queue, admission control, and the worker round trip; its
+  /// outcome carries `fast_path` provenance (worker -1, off-pool) and the
+  /// slot is born terminal. The cache is still consulted (and populated)
+  /// with normal hit/miss accounting; in-flight dedup is skipped -- an
+  /// inline solve cannot wait on a leader. 0 = off (the default). Signed so
+  /// a negative threshold is a validation error, not a silent wrap.
+  long long fast_path_max_tasks{0};
+
   /// Sanity ceiling for `threads`: far above any real machine, low enough to
   /// catch a negative count that wrapped through `unsigned`.
   static constexpr unsigned kMaxThreads = 1024;
@@ -75,8 +100,9 @@ struct ServiceConfig {
   /// entry budget silently disables the cache -- say `cache = false`
   /// instead), `max_queue_depth` >= 0, `overload_policy` one of
   /// reject/shed_oldest/degrade, "degrade" implies a non-empty
-  /// `fallback_solver`, and a non-empty `fallback_solver` exists in the
-  /// effective registry (`registry`, or the global one when null).
+  /// `fallback_solver`, a non-empty `fallback_solver` exists in the
+  /// effective registry (`registry`, or the global one when null),
+  /// `queue_discipline` one of fifo/edf, and `fast_path_max_tasks` >= 0.
   [[nodiscard]] std::vector<std::string> validate() const;
 
   /// Throws std::invalid_argument joining every validate() violation into

@@ -35,6 +35,10 @@ void accumulate(ServiceStats& total, const ServiceStats& shard) {
   total.deadline_misses += shard.deadline_misses;
   total.fallbacks += shard.fallbacks;
   total.cache_failures += shard.cache_failures;
+  // Summed like everything else: the rollup is "total pending ever held
+  // across the tier", each shard contributing its own high-water mark.
+  total.queue_depth_high_water += shard.queue_depth_high_water;
+  total.fast_path_hits += shard.fast_path_hits;
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#include "support/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace malsched {
+
+namespace {
+
+/// Upper edges of the underflow bucket and every geometric bucket, computed
+/// once (magic static): edges[i] is the upper edge of bucket i, i in
+/// [0, kBuckets - 1). The overflow bucket (last index) is unbounded.
+const std::array<double, LatencyHistogram::kBuckets - 1>& finite_edges() {
+  static const auto edges = [] {
+    std::array<double, LatencyHistogram::kBuckets - 1> out{};
+    for (int i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          LatencyHistogram::kMinSeconds *
+          std::pow(10.0, static_cast<double>(i) /
+                             static_cast<double>(LatencyHistogram::kBucketsPerDecade));
+    }
+    return out;
+  }();
+  return edges;
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_index(double seconds) noexcept {
+  const auto& edges = finite_edges();
+  // NaN and negatives fail this comparison and land in underflow with them.
+  if (!(seconds >= kMinSeconds)) return 0;
+  if (seconds >= edges.back()) return kBuckets - 1;
+  // First bucket whose upper edge exceeds the value. The value's bucket is
+  // found by search over the precomputed edges rather than a log10 round
+  // trip, so the index and the edge table can never disagree on boundaries.
+  const auto it = std::upper_bound(edges.begin(), edges.end(), seconds);
+  return static_cast<int>(it - edges.begin());
+}
+
+double LatencyHistogram::bucket_upper_edge(int index) {
+  if (index < 0 || index >= kBuckets) {
+    throw std::out_of_range("LatencyHistogram: bucket index " + std::to_string(index) +
+                            " outside [0, " + std::to_string(kBuckets) + ")");
+  }
+  if (index == kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return finite_edges()[static_cast<std::size_t>(index)];
+}
+
+void LatencyHistogram::record(double seconds) noexcept {
+  counts_[static_cast<std::size_t>(bucket_index(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!(seconds > 0.0)) return;  // NaN/non-positive never move the maximum
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(seconds);
+  std::uint64_t seen = max_bits_.load(std::memory_order_relaxed);
+  while (bits > seen &&
+         !max_bits_.compare_exchange_weak(seen, bits, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t add =
+        other.counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (add != 0) {
+      counts_[static_cast<std::size_t>(i)].fetch_add(add, std::memory_order_relaxed);
+    }
+  }
+  const std::uint64_t bits = other.max_bits_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_bits_.load(std::memory_order_relaxed);
+  while (bits > seen &&
+         !max_bits_.compare_exchange_weak(seen, bits, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : counts_) total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::max_seconds() const noexcept {
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> snapshot{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += snapshot[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite edge; the recorded maximum is the
+      // tightest bound available for samples past the tracked range.
+      if (i == kBuckets - 1) return max_seconds();
+      return finite_edges()[static_cast<std::size_t>(i)];
+    }
+  }
+  return max_seconds();  // unreachable: cumulative == total >= rank by then
+}
+
+std::uint64_t LatencyHistogram::bucket_count(int index) const noexcept {
+  if (index < 0 || index >= kBuckets) return 0;
+  return counts_[static_cast<std::size_t>(index)].load(std::memory_order_relaxed);
+}
+
+void LatencyHistogram::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.kv("count", count());
+  json.kv("p50_seconds", quantile(0.50));
+  json.kv("p95_seconds", quantile(0.95));
+  json.kv("p99_seconds", quantile(0.99));
+  json.kv("p999_seconds", quantile(0.999));
+  json.kv("max_seconds", max_seconds());
+  json.key("buckets");
+  json.begin_array();
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    json.begin_object();
+    // +infinity (the overflow bucket) renders as null by JsonWriter's
+    // non-finite rule; consumers read null upper as "beyond the last edge".
+    json.kv("upper_seconds", bucket_upper_edge(i));
+    json.kv("count", in_bucket);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace malsched

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+/// Lock-free, mergeable, log-bucketed latency histogram.
+///
+/// The open-loop replayer (bench/bench_load) records one serving latency per
+/// completed request from the service's result callback -- a concurrent,
+/// latency-sensitive context where a mutex-guarded reservoir would perturb
+/// the very tail it measures. record() is therefore wait-free: one relaxed
+/// atomic increment on the value's bucket (plus a CAS loop for the running
+/// maximum), safe from any number of threads concurrently.
+///
+/// Buckets are geometric: kBucketsPerDecade per factor of 10, spanning
+/// [kMinSeconds, kMinSeconds * 10^kDecades) -- 1 microsecond to 1000 seconds
+/// -- with one underflow and one overflow bucket at the ends. The edges are a
+/// pure function of those constants (bucket i's upper edge is kMinSeconds *
+/// 10^(i / kBucketsPerDecade)), so two histograms -- from different runs,
+/// threads, or shards -- always share the same geometry and merge() is plain
+/// bucket-wise addition. Values are steady-clock SECONDS by convention
+/// (support/stopwatch.hpp); the histogram itself never reads a clock.
+///
+/// quantile() is exact in rank (counts are exact integers; the returned
+/// bucket is exactly the one holding the q-th ranked sample) and
+/// bucket-bounded in value: it reports the bucket's upper edge, i.e. an
+/// overestimate by at most one bucket ratio, 10^(1/16) ~ 15.5%. Quantiles of
+/// a quiesced histogram are deterministic.
+namespace malsched {
+
+class JsonWriter;
+
+class LatencyHistogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr int kDecades = 9;  ///< 1 us .. 1000 s tracked geometrically
+  static constexpr int kBucketsPerDecade = 16;
+  /// Geometric buckets plus underflow (index 0) and overflow (last index).
+  static constexpr int kBuckets = kDecades * kBucketsPerDecade + 2;
+
+  LatencyHistogram() = default;
+  // Atomics make the histogram address-stable state: share it by reference.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Counts one sample. Wait-free (one relaxed increment + a max CAS);
+  /// callable concurrently with every other member. Negative or NaN values
+  /// clamp into the underflow bucket and leave the maximum untouched.
+  void record(double seconds) noexcept;
+
+  /// Adds every bucket of `other` into this histogram (and folds its
+  /// maximum). Safe concurrently with record() on either side; counts in
+  /// flight on `other` during the call may or may not be included.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Total samples recorded.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Largest positive sample recorded, including sub-kMinSeconds ones that
+  /// count in the underflow bucket (0 when no positive sample arrived).
+  [[nodiscard]] double max_seconds() const noexcept;
+
+  /// Upper edge of the bucket holding the q-th ranked sample (q clamped to
+  /// [0, 1]; rank = ceil(q * count), at least 1). Underflow reports
+  /// kMinSeconds, overflow reports max_seconds(). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Upper edge of bucket `index` (kMinSeconds for the underflow bucket);
+  /// the overflow bucket has no finite edge and reports +infinity.
+  [[nodiscard]] static double bucket_upper_edge(int index);
+
+  /// Count currently in bucket `index` (relaxed load).
+  [[nodiscard]] std::uint64_t bucket_count(int index) const noexcept;
+
+  /// Serializes {"count", "p50_seconds", "p95_seconds", "p99_seconds",
+  /// "p999_seconds", "max_seconds", "buckets": [{"upper_seconds", "count"},
+  /// ...]} as one JSON object value (the caller positions the key). Only
+  /// non-empty buckets are listed; the overflow bucket's upper edge renders
+  /// as null (JsonWriter maps +infinity to null).
+  void write_json(JsonWriter& json) const;
+
+ private:
+  [[nodiscard]] static int bucket_index(double seconds) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  /// Bit pattern of the largest non-negative sample; IEEE-754 orderings of
+  /// non-negative doubles and of their bit patterns agree, so the CAS loop
+  /// compares integers.
+  std::atomic<std::uint64_t> max_bits_{0};
+};
+
+}  // namespace malsched

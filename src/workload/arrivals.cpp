@@ -1,0 +1,156 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace malsched {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Exponential gap with the given rate; rate must be > 0. next_double() is
+/// in [0, 1), so 1 - u is in (0, 1] and the log never sees zero.
+double exponential_gap(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+bool bad(double v) { return std::isnan(v) || std::isinf(v); }
+
+}  // namespace
+
+std::string to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+ArrivalProcess arrival_process_from_string(const std::string& name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  throw std::invalid_argument("unknown arrival process \"" + name +
+                              "\" (expected poisson/bursty/diurnal)");
+}
+
+std::vector<std::string> ArrivalOptions::validate() const {
+  std::vector<std::string> errors;
+  if (bad(rate_per_second) || rate_per_second <= 0.0) {
+    errors.push_back("rate_per_second = " + std::to_string(rate_per_second) +
+                     " must be a finite rate > 0");
+  }
+  if (bad(duration_seconds) || duration_seconds <= 0.0) {
+    errors.push_back("duration_seconds = " + std::to_string(duration_seconds) +
+                     " must be a finite horizon > 0");
+  }
+  if (process == ArrivalProcess::kBursty) {
+    if (bad(burst_factor) || burst_factor < 1.0) {
+      errors.push_back("burst_factor = " + std::to_string(burst_factor) + " must be >= 1");
+    }
+    if (bad(on_fraction) || on_fraction <= 0.0 || on_fraction >= 1.0) {
+      errors.push_back("on_fraction = " + std::to_string(on_fraction) +
+                       " must be strictly inside (0, 1)");
+    } else if (!bad(burst_factor) && burst_factor * on_fraction > 1.0) {
+      errors.push_back("burst_factor * on_fraction = " +
+                       std::to_string(burst_factor * on_fraction) +
+                       " exceeds 1: the ON phases alone would carry more than the whole "
+                       "long-run mean (the derived OFF rate would be negative)");
+    }
+    if (bad(mean_cycle_seconds) || mean_cycle_seconds <= 0.0) {
+      errors.push_back("mean_cycle_seconds = " + std::to_string(mean_cycle_seconds) +
+                       " must be > 0");
+    }
+  }
+  if (process == ArrivalProcess::kDiurnal) {
+    if (bad(diurnal_period_seconds) || diurnal_period_seconds <= 0.0) {
+      errors.push_back("diurnal_period_seconds = " + std::to_string(diurnal_period_seconds) +
+                       " must be > 0");
+    }
+    if (bad(diurnal_amplitude) || diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0) {
+      errors.push_back("diurnal_amplitude = " + std::to_string(diurnal_amplitude) +
+                       " must be in [0, 1]");
+    }
+  }
+  return errors;
+}
+
+std::vector<double> generate_arrivals(const ArrivalOptions& options, std::uint64_t seed) {
+  const std::vector<std::string> errors = options.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid ArrivalOptions:";
+    for (const std::string& error : errors) message += "\n  * " + error;
+    throw std::invalid_argument(message);
+  }
+
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  const auto full = [&] {
+    return options.max_arrivals > 0 && arrivals.size() >= options.max_arrivals;
+  };
+
+  switch (options.process) {
+    case ArrivalProcess::kPoisson: {
+      double t = exponential_gap(rng, options.rate_per_second);
+      while (t < options.duration_seconds && !full()) {
+        arrivals.push_back(t);
+        t += exponential_gap(rng, options.rate_per_second);
+      }
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      // Two-state modulated Poisson process. The ON rate is burst_factor x
+      // the mean; the OFF rate is derived so the time-weighted mean is
+      // exactly rate_per_second (validate() guarantees it is >= 0):
+      //   on_fraction * rate_on + (1 - on_fraction) * rate_off = mean.
+      const double rate_on = options.burst_factor * options.rate_per_second;
+      const double rate_off = options.rate_per_second *
+                              (1.0 - options.on_fraction * options.burst_factor) /
+                              (1.0 - options.on_fraction);
+      const double mean_on_dwell = options.on_fraction * options.mean_cycle_seconds;
+      const double mean_off_dwell = (1.0 - options.on_fraction) * options.mean_cycle_seconds;
+      bool on = true;  // traces deterministically open in a burst
+      double t = 0.0;
+      double phase_end = exponential_gap(rng, 1.0 / mean_on_dwell);
+      while (t < options.duration_seconds && !full()) {
+        const double rate = on ? rate_on : rate_off;
+        // A (near-)silent OFF phase emits nothing: jump to the phase switch.
+        const double next = rate > 0.0 ? t + exponential_gap(rng, rate)
+                                       : options.duration_seconds;
+        if (next < phase_end) {
+          t = next;
+          if (t < options.duration_seconds) arrivals.push_back(t);
+        } else {
+          t = phase_end;
+          on = !on;
+          phase_end = t + exponential_gap(rng, 1.0 / (on ? mean_on_dwell : mean_off_dwell));
+        }
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      // Inhomogeneous Poisson by Lewis-Shedler thinning: candidates at the
+      // peak rate, each kept with probability rate(t) / peak. The curve is
+      //   rate(t) = mean * (1 + amplitude * sin(2 pi t / period)),
+      // so the long-run mean over whole periods is rate_per_second.
+      const double peak = options.rate_per_second * (1.0 + options.diurnal_amplitude);
+      double t = exponential_gap(rng, peak);
+      while (t < options.duration_seconds && !full()) {
+        const double rate =
+            options.rate_per_second *
+            (1.0 + options.diurnal_amplitude *
+                       std::sin(kTwoPi * t / options.diurnal_period_seconds));
+        if (rng.next_double() * peak < rate) arrivals.push_back(t);
+        t += exponential_gap(rng, peak);
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace malsched

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Seeded arrival-process generators for open-loop load replay.
+///
+/// A closed-loop benchmark (submit, wait, repeat) measures the service at
+/// whatever rate the service itself sustains -- it can never observe queueing
+/// delay, because a slow response throttles the generator (coordinated
+/// omission). An open-loop replayer needs the opposite: a request TRACE whose
+/// timestamps are fixed BEFORE the run, so a request that arrives while the
+/// service is drowning still counts its full wait. These generators produce
+/// exactly that trace: a sorted vector of arrival instants in seconds,
+/// relative to the trace start (t = 0), as a pure function of the options and
+/// a 64-bit seed -- rerunning with the same seed reproduces every timestamp
+/// bit-for-bit. Timestamps are trace-relative offsets applied to a
+/// steady-clock anchor at replay time; no wall-clock source is involved.
+///
+/// Three canonical shapes:
+///   * kPoisson -- memoryless arrivals at a constant rate; the baseline every
+///     queueing model starts from (exponential inter-arrival gaps).
+///   * kBursty  -- MMPP-style on-off modulation: exponentially-dwelling ON
+///     phases at `burst_factor` x the mean rate alternate with quiet OFF
+///     phases, long-run mean preserved. Stresses admission control and queue
+///     high-water marks far harder than Poisson at the same mean rate.
+///   * kDiurnal -- a sinusoidal rate curve (thinned inhomogeneous Poisson):
+///     the compressed shape of a daily load cycle, for capacity questions
+///     like "does p99 hold through the peak".
+namespace malsched {
+
+enum class ArrivalProcess {
+  kPoisson,
+  kBursty,
+  kDiurnal,
+};
+
+/// "poisson", "bursty", "diurnal" -- the spellings bench artifacts record.
+[[nodiscard]] std::string to_string(ArrivalProcess process);
+
+/// Parses the spellings above; throws std::invalid_argument on anything else.
+[[nodiscard]] ArrivalProcess arrival_process_from_string(const std::string& name);
+
+struct ArrivalOptions {
+  ArrivalProcess process{ArrivalProcess::kPoisson};
+  /// Long-run mean arrival rate (requests per second) for EVERY process --
+  /// bursty and diurnal modulate around this mean, they do not change it.
+  double rate_per_second{100.0};
+  /// Trace horizon: arrivals at or beyond this instant are dropped.
+  double duration_seconds{1.0};
+  /// Hard cap on the number of arrivals; 0 = the horizon alone decides.
+  std::size_t max_arrivals{0};
+
+  // ------------------------------------------------------------- kBursty
+  /// ON-phase rate as a multiple of the mean rate; must be >= 1, and
+  /// burst_factor * on_fraction must stay <= 1 so the derived OFF rate
+  /// (which keeps the long-run mean at `rate_per_second`) is non-negative.
+  /// The defaults (4x for a fifth of the time) leave the OFF phases at a
+  /// quarter of the mean rate.
+  double burst_factor{4.0};
+  /// Long-run fraction of time spent in ON phases; must be in (0, 1).
+  double on_fraction{0.2};
+  /// Mean length of one ON+OFF cycle in seconds; dwell times in each phase
+  /// are exponential with means on_fraction * cycle and (1 - on_fraction) *
+  /// cycle respectively.
+  double mean_cycle_seconds{0.25};
+
+  // ------------------------------------------------------------ kDiurnal
+  /// Period of the sinusoidal rate curve in seconds (a compressed "day").
+  double diurnal_period_seconds{1.0};
+  /// Relative swing of the curve, in [0, 1]: the instantaneous rate is
+  /// mean * (1 + amplitude * sin(2 pi t / period)), so 1.0 swings between
+  /// 0 and twice the mean.
+  double diurnal_amplitude{0.8};
+
+  /// Every violation as one readable sentence; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Generates the trace: sorted arrival instants in [0, duration_seconds),
+/// seconds relative to the trace start. Pure function of (options, seed).
+/// Throws std::invalid_argument when options.validate() reports violations.
+[[nodiscard]] std::vector<double> generate_arrivals(const ArrivalOptions& options,
+                                                    std::uint64_t seed);
+
+}  // namespace malsched

@@ -1,0 +1,36 @@
+// Lint fixture: C wall-clock APIs in trace/replay timing code. Arrival
+// traces and latency replays timestamp in steady-clock seconds relative to
+// a run anchor (support/stopwatch.hpp); gettimeofday / clock_gettime /
+// timespec_get reads make two runs' timestamps incomparable and break the
+// same-seed reproducibility contract. clock_gettime is flagged even with
+// CLOCK_MONOTONIC -- monotonic reads belong behind the Stopwatch.
+// lint:expect(steady-clock)
+// lint:expect(steady-clock)
+// lint:expect(steady-clock)
+#include <ctime>
+#include <sys/time.h>
+
+double fixture_trace_anchor() {
+  timeval now{};
+  gettimeofday(&now, nullptr);
+  return static_cast<double>(now.tv_sec) + static_cast<double>(now.tv_usec) * 1e-6;
+}
+
+double fixture_monotonic_read() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double fixture_c11_read() {
+  timespec ts{};
+  timespec_get(&ts, TIME_UTC);
+  return static_cast<double>(ts.tv_sec);
+}
+
+// A type or member merely NAMED like the APIs must NOT trip the call-shaped
+// pattern: only actual calls are wall-clock reads.
+struct FixtureClockNames {
+  int gettimeofday_calls{0};
+  int clock_gettime_errors{0};
+};

@@ -114,7 +114,14 @@ class Violation:
 
 # Each token rule: (id, doc, scope prefixes or None for everywhere,
 # allowlisted paths, compiled pattern, message).
-CLOCK_RE = re.compile(r"\b(system_clock|high_resolution_clock)\b")
+# Both the std::chrono wall clocks and the C wall-clock APIs: arrival traces
+# and latency replays are timestamped in steady-clock seconds (relative to a
+# run anchor), so any wall-clock read in timing code breaks reproducibility.
+# clock_gettime is flagged regardless of clockid -- CLOCK_MONOTONIC reads
+# belong behind the Stopwatch too.
+CLOCK_RE = re.compile(
+    r"\b(system_clock|high_resolution_clock)\b"
+    r"|\b(gettimeofday|clock_gettime|timespec_get)\s*\(")
 MUTEX_RE = re.compile(
     r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
@@ -130,7 +137,8 @@ PRINTF_RE = re.compile(
 
 TOKEN_RULES = [
     ("steady-clock",
-     "system_clock/high_resolution_clock outside support/stopwatch.hpp",
+     "system_clock/high_resolution_clock or C wall-clock calls "
+     "(gettimeofday/clock_gettime/timespec_get) outside support/stopwatch.hpp",
      None,
      {os.path.join("src", "support", "stopwatch.hpp")},
      CLOCK_RE,
