@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "support/parallel_for.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"

@@ -36,7 +36,7 @@
 //   ./build/bench/bench_load --qps 500,2000,8000 --duration 3 --shards 1,2
 //   ./build/bench/bench_load --configs edf-budget --process bursty
 //
-// The artifact (LOAD_<rev>.json, schema v7 -- same schema as bench_suite;
+// The artifact (LOAD_<rev>.json, schema v8 -- same schema as bench_suite;
 // the load-specific fields are optional properties) is validated in CI by
 // bench/validate_bench_json.py. compare_bench_json.py treats rows carrying a
 // latency_histogram as informational, like the v5 contention cells.
@@ -55,7 +55,8 @@
 #include <vector>
 
 #include "api/sharded_service.hpp"
-#include "api/solver_registry.hpp"
+#include "api/stats_json.hpp"
+#include "registry/solver_registry.hpp"
 #include "support/fnv.hpp"
 #include "support/json.hpp"
 #include "support/latency_histogram.hpp"
@@ -77,7 +78,9 @@ using namespace malsched;
 // completed, deadline_miss_rate, shed_rate, fallback_rate,
 // queue_depth_high_water, fast_path_hits, trace_digest, latency_histogram)
 // and the optional top-level saturation_qps; bench_suite rows are unchanged.
-constexpr int kSchemaVersion = 7;
+// v8: the required run-level service_stats object (accumulate_stats over
+// every selected run, written by the shared api/stats_json.cpp writer).
+constexpr int kSchemaVersion = 8;
 
 /// One swept serving scenario. Budgets make EDF meaningful: with
 /// budget_range > 0 every request draws a uniform budget in
@@ -157,6 +160,9 @@ struct RunResult {
   double served_qps{0.0};
   std::uint64_t queue_depth_high_water{0};
   std::uint64_t fast_path_hits{0};
+  /// Full end-of-run service counter snapshot; the artifact rolls these up
+  /// across all selected runs into one run-level `service_stats` object.
+  ServiceStats service_stats;
   std::string trace_digest;
   /// OK outcomes only (a reject answers fast but serves nothing). Behind a
   /// unique_ptr because the histogram's atomics make it immovable and
@@ -300,6 +306,7 @@ RunResult replay(const Scenario& scenario, ArrivalProcess process, double qps, u
   const ServiceStats stats = service.stats();
   result.queue_depth_high_water = stats.queue_depth_high_water;
   result.fast_path_hits = stats.fast_path_hits;
+  result.service_stats = stats;
 
   // Post-drain join: every ticket has a completion by now (drain() returns
   // only after the full stream fired); single-threaded from here.
@@ -622,6 +629,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_errors = 0;
   std::uint64_t total_misses = 0;
   std::uint64_t total_fallbacks = 0;
+  ServiceStats run_service_stats;
   std::uint64_t failures = 0;
   double saturation_qps = 0.0;
   for (const auto& row : rows) {
@@ -631,6 +639,7 @@ int main(int argc, char** argv) {
     total_fallbacks += row.result.fallbacks;
     failures += row.result.mismatches + row.result.unexpected_errors;
     saturation_qps = std::max(saturation_qps, row.result.served_qps);
+    accumulate_stats(run_service_stats, row.result.service_stats);
   }
 
   // ------------------------------------------------------------- artifact
@@ -647,6 +656,10 @@ int main(int argc, char** argv) {
   json.kv("fallbacks", total_fallbacks);
   json.kv("wall_seconds", total_wall);
   json.kv("saturation_qps", saturation_qps);
+  // v8: service counters accumulated across every selected run, same shape
+  // as bench_suite's (write_service_stats emits every ServiceStats field).
+  json.key("service_stats");
+  write_service_stats(json, run_service_stats);
   json.key("cases");
   json.begin_array();
   for (const auto& row : rows) {

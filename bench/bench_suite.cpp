@@ -44,6 +44,7 @@
 
 #include "api/scheduler_service.hpp"
 #include "api/sharded_service.hpp"
+#include "api/stats_json.hpp"
 #include "graph/task_graph.hpp"
 #include "support/stopwatch.hpp"
 #include "support/parallel_for.hpp"
@@ -58,7 +59,12 @@ namespace {
 
 using namespace malsched;
 
-// v7 (open-loop load): the schema now also describes bench_load's
+// v8 (stats exhaustiveness): the run summary carries a required
+// service_stats object -- the FULL ServiceStats snapshot of the grid-phase
+// service, serialized by the shared api/stats_json.cpp writer (the repo
+// linter enforces that the struct, the sharded rollup, the writer, and the
+// schema list every field). v7 (open-loop load): the schema now also
+// describes bench_load's
 // LOAD_<rev>.json artifacts via OPTIONAL per-case fields (process,
 // offered_qps, policy, queue_discipline, requests, completed,
 // deadline_miss_rate / shed_rate / fallback_rate, queue_depth_high_water,
@@ -71,7 +77,7 @@ using namespace malsched;
 // admits the deadline_exceeded/rejected classes. v5 (sharded serving) added
 // the contention-row fields "shard"/"qps"/"digest" (null for grid cases);
 // v4 "dedup_join"; v3 "cache_hit" and service-path wall_seconds.
-constexpr int kSchemaVersion = 7;
+constexpr int kSchemaVersion = 8;
 
 /// One swept solver configuration (display name = registry name + variant).
 struct SolverConfig {
@@ -595,6 +601,11 @@ int main(int argc, char** argv) {
   json.kv("deadline_misses", service_stats.deadline_misses);
   json.kv("fallbacks", service_stats.fallbacks);
   json.kv("wall_seconds", run_wall);
+  // v8: the full grid-phase service counter snapshot, shared shape with
+  // bench_load (write_service_stats emits every ServiceStats field; the
+  // repo linter enforces that exhaustively).
+  json.key("service_stats");
+  write_service_stats(json, service_stats);
   json.key("cases");
   json.begin_array();
   for (std::size_t i = 0; i < cases.size(); ++i) {

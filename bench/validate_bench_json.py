@@ -7,7 +7,9 @@ type (string or list, with "integer" meaning an integral number and
 "boolean" covering the per-case cache_hit/dedup_join flags of v3/v4),
 required, properties, items, enum, const (pins schema_version, so a v3
 artifact fails against the v4 schema instead of sliding through), minimum,
-and minItems.
+minItems, and additionalProperties: false (the v8 service_stats rollup is
+a closed object, so a counter added to ServiceStats but not to the schema
+fails here as well as in the stats-exhaustiveness lint).
 Unknown schema keywords are rejected loudly rather than silently ignored, so
 the schema cannot drift ahead of the validator.
 
@@ -20,6 +22,7 @@ import sys
 HANDLED = {
     "$schema", "title", "description",
     "type", "required", "properties", "items", "enum", "const", "minimum", "minItems",
+    "additionalProperties",
 }
 
 
@@ -75,6 +78,11 @@ def validate(value, schema, path, errors):
         for name, sub in schema.get("properties", {}).items():
             if name in value:
                 validate(value[name], sub, f"{path}.{name}", errors)
+        if schema.get("additionalProperties") is False:
+            extra = sorted(set(value) - set(schema.get("properties", {})))
+            if extra:
+                errors.append(f"{path}: unexpected keys {extra} "
+                              "(additionalProperties: false)")
 
     if isinstance(value, list):
         if "minItems" in schema and len(value) < schema["minItems"]:

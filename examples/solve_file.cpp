@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "model/instance_io.hpp"
 #include "sched/gantt.hpp"
 #include "workload/generators.hpp"

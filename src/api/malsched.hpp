@@ -5,9 +5,9 @@
 ///
 ///   * model/instance_handle.hpp -- interned, content-addressed identity
 ///     (intern once; fingerprint + static lower bound travel with the handle)
-///   * api/request.hpp            -- SolveRequest in, SolveOutcome (+ typed
+///   * registry/request.hpp            -- SolveRequest in, SolveOutcome (+ typed
 ///     SolveError, provenance) out
-///   * api/solver_registry.hpp    -- one-shot dispatch: registry.solve(request)
+///   * registry/solver_registry.hpp    -- one-shot dispatch: registry.solve(request)
 ///   * api/solve_batch.hpp        -- closed batches: solve_batch(requests)
 ///   * api/service_config.hpp     -- ServiceConfig, the one serving-tier
 ///     configuration aggregate (validate() + defaults)
@@ -17,10 +17,10 @@
 /// The pre-v2 shims (Instance/BatchJob overloads, ServiceOptions) ride along
 /// through these headers for compatibility; new code should enter through
 /// SolveRequest over an interned InstanceHandle and ServiceConfig only.
-#include "api/request.hpp"            // IWYU pragma: export
+#include "registry/request.hpp"            // IWYU pragma: export
 #include "api/scheduler_service.hpp"  // IWYU pragma: export
 #include "api/service_config.hpp"     // IWYU pragma: export
 #include "api/sharded_service.hpp"    // IWYU pragma: export
 #include "api/solve_batch.hpp"        // IWYU pragma: export
-#include "api/solver_registry.hpp"    // IWYU pragma: export
+#include "registry/solver_registry.hpp"    // IWYU pragma: export
 #include "model/instance_handle.hpp"  // IWYU pragma: export

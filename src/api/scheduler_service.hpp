@@ -11,7 +11,7 @@
 
 #include <atomic>
 
-#include "api/request.hpp"
+#include "registry/request.hpp"
 #include "api/service_config.hpp"
 #include "api/solve_cache.hpp"
 #include "exec/batch_runner.hpp"
@@ -153,7 +153,7 @@ enum class JobState {
   kDone,       ///< terminal: ok / error / cancelled (see the outcome)
 };
 
-/// Pre-v2 name for the streaming payload; SolveOutcome (api/request.hpp) is
+/// Pre-v2 name for the streaming payload; SolveOutcome (registry/request.hpp) is
 /// the one type batch items, bench cases, and service outcomes share.
 using JobOutcome = SolveOutcome;
 
@@ -202,6 +202,13 @@ struct ServiceStats {
   /// hits, not here.
   std::uint64_t fast_path_hits{0};
 };
+
+/// Field-wise rollup `total += shard`, used by the sharded tier and the
+/// bench harnesses (defined in sharded_service.cpp, next to its consumer).
+/// Every ServiceStats field must be summed here: the repo linter's
+/// stats-exhaustive rule cross-references the struct against this body,
+/// write_service_stats() (api/stats_json.hpp), and bench_schema.json.
+void accumulate_stats(ServiceStats& total, const ServiceStats& shard);
 
 /// Pre-v2 per-submit flags; SolveRequest::use_cache carries this now.
 struct SubmitOptions {

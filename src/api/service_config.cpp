@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 
 namespace malsched {
 

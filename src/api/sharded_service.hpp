@@ -5,7 +5,7 @@
 #include <optional>
 #include <vector>
 
-#include "api/request.hpp"
+#include "registry/request.hpp"
 #include "api/scheduler_service.hpp"
 #include "api/service_config.hpp"
 

@@ -10,8 +10,8 @@
 
 #include "support/mutex.hpp"
 
-#include "api/solver_options.hpp"
-#include "api/solver_result.hpp"
+#include "registry/solver_options.hpp"
+#include "registry/solver_result.hpp"
 #include "model/instance_handle.hpp"
 
 /// Content-addressed memoization of registry solves.

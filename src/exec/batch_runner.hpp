@@ -8,10 +8,10 @@
 #include <utility>
 #include <vector>
 
-#include "api/request.hpp"
-#include "api/solver_options.hpp"
-#include "api/solver_registry.hpp"
-#include "api/solver_result.hpp"
+#include "registry/request.hpp"
+#include "registry/solver_options.hpp"
+#include "registry/solver_registry.hpp"
+#include "registry/solver_result.hpp"
 #include "model/instance.hpp"
 #include "model/instance_handle.hpp"
 #include "support/cancellation.hpp"
@@ -39,13 +39,13 @@
 ///    thread) skips every job that has not started yet; running solves finish.
 ///
 /// Thread-safety contract with the registry (audited in
-/// api/solver_registry.hpp): concurrent `solve()` calls on a registry that is
+/// registry/solver_registry.hpp): concurrent `solve()` calls on a registry that is
 /// no longer being mutated are safe, which is exactly how BatchRunner uses
 /// it. The registry must outlive the runner.
 namespace malsched {
 
 /// Pre-v2 unit of batch work, kept as a thin interning shim over
-/// SolveRequest (api/request.hpp): same (solver, options, instance) triple,
+/// SolveRequest (registry/request.hpp): same (solver, options, instance) triple,
 /// but by raw shared_ptr instead of interned InstanceHandle, so every
 /// BatchJob-taking entry point must intern (re-fingerprint) on your behalf.
 /// Prefer building SolveRequests from handles you interned once -- that is
@@ -81,7 +81,7 @@ struct BatchItem {
   std::size_t index{0};
   BatchItemStatus status{BatchItemStatus::kCancelled};
   std::optional<SolverResult> result;  ///< engaged iff status == kOk
-  /// Typed error (api/request.hpp), shared with SolveOutcome; code != kNone
+  /// Typed error (registry/request.hpp), shared with SolveOutcome; code != kNone
   /// iff status != kOk. `error.detail` holds the message text the pre-v2.1
   /// string field carried.
   SolveError error;

@@ -1,4 +1,4 @@
-#include "api/option_spec.hpp"
+#include "registry/option_spec.hpp"
 
 #include <algorithm>
 #include <cstddef>

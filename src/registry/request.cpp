@@ -1,4 +1,4 @@
-#include "api/request.hpp"
+#include "registry/request.hpp"
 
 #include <stdexcept>
 

@@ -5,8 +5,8 @@
 #include <string>
 #include <utility>
 
-#include "api/solver_options.hpp"
-#include "api/solver_result.hpp"
+#include "registry/solver_options.hpp"
+#include "registry/solver_result.hpp"
 #include "model/instance_handle.hpp"
 
 /// API v2: the typed unit of work every front end speaks.

@@ -1,4 +1,4 @@
-#include "api/solver_options.hpp"
+#include "registry/solver_options.hpp"
 
 #include <algorithm>
 #include <cctype>

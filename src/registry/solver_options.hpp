@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "api/option_spec.hpp"
+#include "registry/option_spec.hpp"
 
 /// Generic key=value option bag for the solver registry.
 ///

@@ -1,4 +1,4 @@
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 
 #include <algorithm>
 #include <stdexcept>

@@ -5,10 +5,10 @@
 #include <string>
 #include <vector>
 
-#include "api/option_spec.hpp"
-#include "api/request.hpp"
-#include "api/solver_options.hpp"
-#include "api/solver_result.hpp"
+#include "registry/option_spec.hpp"
+#include "registry/request.hpp"
+#include "registry/solver_options.hpp"
+#include "registry/solver_result.hpp"
 #include "model/instance.hpp"
 #include "support/cancellation.hpp"
 

@@ -1,4 +1,4 @@
-#include "api/solver_result.hpp"
+#include "registry/solver_result.hpp"
 
 #include <sstream>
 

@@ -21,7 +21,7 @@
 ///    never fires, which is what keeps results byte-identical for
 ///    undisturbed requests.
 ///  * **CancelledError / DeadlineExceededError** -- the typed exceptions a
-///    firing poll() throws; classify_solve_exception (api/request.hpp) maps
+///    firing poll() throws; classify_solve_exception (registry/request.hpp) maps
 ///    them to SolveErrorCode::kCancelled / kDeadlineExceeded so the error
 ///    taxonomy is exact across batch, service, and sharded tiers.
 ///

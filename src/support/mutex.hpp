@@ -21,6 +21,29 @@
 /// need an escape hatch. Callers write the standard
 /// `while (!cond) cv.wait(mutex);` loop instead, where every guarded read
 /// sits in the locked scope the analysis can check.
+///
+/// LOCK HIERARCHY. The repo's intended lock ordering is declared here, in
+/// the lint:lock-order(...) directives below, and enforced statically by
+/// the linter's lock-order analysis (tools/lint/lock_order.py): it extracts
+/// every LockGuard nesting and every call made under a held mutex (with
+/// MALSCHED_REQUIRES counting as held), resolves mutex identity per class,
+/// and fails CI with the witness path when the observed acquisition graph
+/// has a cycle -- or when an observed ordering is not declared below, which
+/// keeps this list the reviewed source of truth rather than an after-the-
+/// fact inventory. Keys are `Class::member`; arrows read "may be held while
+/// acquiring". Current hierarchy (one edge):
+///
+///   * SchedulerService::mutex_ -> WorkerPool::mutex_
+///     enqueue_locked() posts the run_next trampoline to the worker pool
+///     while holding the service state lock; WorkerPool::post takes the
+///     pool's own queue lock to enqueue. The pool never calls back into the
+///     service synchronously (worker lambdas run later, on pool threads),
+///     so the edge is one-way by construction.
+///
+/// Everything else (SolveCache::mutex_, the instance-intern table, the
+/// failpoint registry) is a leaf: taken with nothing else held.
+///
+// lint:lock-order(SchedulerService::mutex_ -> WorkerPool::mutex_)
 namespace malsched {
 
 class CondVar;

@@ -1,0 +1,12 @@
+// Lint fixture: a layering back-edge. The lint:layer(core) directive pins
+// this file to the core/ layer (fixtures live under tests/, which may
+// include anything, so the pin is what makes the violation expressible);
+// core (rank 30) must not include api/ (rank 80) -- the include below is
+// exactly the upward dependency the layering DAG check exists to reject,
+// reported with the offending include edge (and, in the real tree, the
+// chain closing the cycle).
+// lint:layer(core)
+// lint:expect(layering)
+#include "api/malsched.hpp"
+
+int fixture_uses_api_from_core() { return 0; }

@@ -1,0 +1,27 @@
+// Lint fixture: a static deadlock. Two methods of the same class take the
+// same two mutexes in OPPOSITE orders -- thread 1 in forward() holds
+// first_ and wants second_ while thread 2 in backward() holds second_ and
+// wants first_. The lock-order analysis must report the cycle (one finding,
+// with the witness path); the two edges forming it are exempt from the
+// undeclared-ordering check because the cycle is the actionable diagnosis.
+// lint:expect(lock-order)
+#include "support/mutex.hpp"
+
+struct FixtureLedger {
+  malsched::Mutex first_;
+  malsched::Mutex second_;
+  int balance MALSCHED_GUARDED_BY(first_){0};
+  int audit MALSCHED_GUARDED_BY(second_){0};
+
+  void forward() {
+    const malsched::LockGuard a(first_);
+    const malsched::LockGuard b(second_);
+    audit = balance;
+  }
+
+  void backward() {
+    const malsched::LockGuard b(second_);
+    const malsched::LockGuard a(first_);
+    balance = audit;
+  }
+};

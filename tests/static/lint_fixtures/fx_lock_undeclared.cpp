@@ -1,0 +1,23 @@
+// Lint fixture: a consistent but UNDECLARED lock ordering. Nesting outer_
+// over inner_ is deadlock-free as written, but the ordering is not declared
+// in a lint:lock-order(...) directive (src/support/mutex.hpp carries the
+// real tree's hierarchy), so the analysis reports one undeclared-edge
+// finding: every ordering the code relies on must be reviewed into the
+// hierarchy, or a second, reversed nesting elsewhere becomes a deadlock
+// nobody models.
+// lint:expect(lock-order-undeclared)
+#include "support/mutex.hpp"
+
+struct FixtureRouter {
+  malsched::Mutex outer_;
+  malsched::Mutex inner_;
+  int routes MALSCHED_GUARDED_BY(outer_){0};
+  int hops MALSCHED_GUARDED_BY(inner_){0};
+
+  void reroute() {
+    const malsched::LockGuard table(outer_);
+    ++routes;
+    const malsched::LockGuard leaf(inner_);
+    ++hops;
+  }
+};

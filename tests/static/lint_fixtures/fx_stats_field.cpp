@@ -1,0 +1,34 @@
+// Lint fixture: a ServiceStats counter that misses the sharded rollup. The
+// struct declares three counters; accumulate_stats sums only two, so a
+// sharded-tier stats() call would silently report retries_ever as 0. The
+// stats-exhaustiveness analysis must report exactly that field (the
+// serializer below is complete, and the schema sub-check only runs in tree
+// mode, so the rollup gap is the single finding). In the real tree the
+// anchors are src/api/scheduler_service.hpp, src/api/sharded_service.cpp,
+// src/api/stats_json.cpp, and bench/bench_schema.json.
+// lint:expect(stats-exhaustive)
+
+struct JsonSink {
+  void key(const char* name);
+  void value(unsigned long long number);
+};
+
+struct ServiceStats {
+  unsigned long long accepted{0};
+  unsigned long long served{0};
+  unsigned long long retries_ever{0};
+};
+
+void accumulate_stats(ServiceStats& total, const ServiceStats& shard) {
+  total.accepted += shard.accepted;
+  total.served += shard.served;
+}
+
+void write_service_stats(JsonSink& json, const ServiceStats& stats) {
+  json.key("accepted");
+  json.value(stats.accepted);
+  json.key("served");
+  json.value(stats.served);
+  json.key("retries_ever");
+  json.value(stats.retries_ever);
+}

@@ -23,7 +23,9 @@ set(MALSCHED_STATIC_SNIPPETS
   ts_unguarded_field
   ts_missing_release
   ts_requires_violation
-  ts_double_acquire)
+  ts_double_acquire
+  ts_return_guarded_ref
+  ts_excludes_violation)
 
 set(MALSCHED_STATIC_DIR ${CMAKE_CURRENT_LIST_DIR})
 set(MALSCHED_STATIC_BIN ${CMAKE_BINARY_DIR}/static_checks)

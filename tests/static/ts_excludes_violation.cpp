@@ -1,0 +1,44 @@
+// Thread-safety-analysis regression snippet: EXCLUDES VIOLATION.
+//
+// As written, reset() is called only with the mutex free and the snippet
+// compiles clean under `-Wthread-safety -Wthread-safety-beta -Werror`. With
+// MALSCHED_STATIC_VIOLATE defined, a method that already holds the mutex
+// calls reset() -- whose MALSCHED_EXCLUDES(mutex) contract says "I take
+// this lock myself" -- so the non-recursive mutex would be acquired twice:
+// the same self-deadlock as ts_double_acquire, but hidden behind a call
+// boundary, which is exactly where code review stops seeing it. The
+// analysis rejects the call and the build MUST fail (enforced by
+// tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Tracker {
+  malsched::Mutex mutex;
+  int pending MALSCHED_GUARDED_BY(mutex){0};
+
+  void reset() MALSCHED_EXCLUDES(mutex) {
+    const malsched::LockGuard lock(mutex);
+    pending = 0;
+  }
+
+  void record_and_flush() MALSCHED_EXCLUDES(mutex) {
+    {
+      const malsched::LockGuard lock(mutex);
+      ++pending;
+#if defined(MALSCHED_STATIC_VIOLATE)
+      reset();  // EXCLUDES(mutex) callee, mutex held: relock through a call
+#endif
+    }
+    reset();  // lock released: the contract holds
+  }
+};
+
+}  // namespace
+
+int main() {
+  Tracker tracker;
+  tracker.record_and_flush();
+  return 0;
+}

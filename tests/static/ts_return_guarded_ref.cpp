@@ -1,0 +1,47 @@
+// Thread-safety-analysis regression snippet: GUARDED REFERENCE ESCAPE.
+//
+// As written, readers copy the guarded value under the lock and the snippet
+// compiles clean under `-Wthread-safety -Wthread-safety-beta -Werror`. With
+// MALSCHED_STATIC_VIOLATE defined, an accessor returns a REFERENCE to the
+// guarded field without the lock: the escaped alias lets every caller read
+// and write the field forever with no lock at all, so GUARDED_BY stops
+// meaning anything for this member. Clang's reference-return check (part
+// of -Wthread-safety, clang >= 17) rejects it and the build MUST fail
+// (enforced by tests/static/static_checks.cmake).
+
+#include "support/mutex.hpp"
+
+namespace {
+
+struct Meter {
+  malsched::Mutex mutex;
+  long total MALSCHED_GUARDED_BY(mutex){0};
+
+  void add(long amount) MALSCHED_EXCLUDES(mutex) {
+    const malsched::LockGuard lock(mutex);
+    total += amount;
+  }
+
+#if defined(MALSCHED_STATIC_VIOLATE)
+  long& peek() MALSCHED_EXCLUDES(mutex) {
+    return total;  // unguarded alias escapes: callers mutate with no lock
+  }
+#else
+  long snapshot() MALSCHED_EXCLUDES(mutex) {
+    const malsched::LockGuard lock(mutex);
+    return total;  // by VALUE: the lock covers the read, nothing escapes
+  }
+#endif
+};
+
+}  // namespace
+
+int main() {
+  Meter meter;
+  meter.add(2);
+#if defined(MALSCHED_STATIC_VIOLATE)
+  return meter.peek() == 2 ? 0 : 1;
+#else
+  return meter.snapshot() == 2 ? 0 : 1;
+#endif
+}

@@ -6,7 +6,7 @@
 #include <stdexcept>
 #include <tuple>
 
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "model/lower_bounds.hpp"
 #include "sched/validate.hpp"
 #include "support/math_utils.hpp"

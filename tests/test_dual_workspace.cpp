@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "api/solve_batch.hpp"
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "core/canonical.hpp"
 #include "core/dual_workspace.hpp"
 #include "core/mrt_scheduler.hpp"

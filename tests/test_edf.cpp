@@ -20,7 +20,7 @@
 
 #include "api/scheduler_service.hpp"
 #include "api/sharded_service.hpp"
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "exec/batch_json.hpp"
 #include "support/cancellation.hpp"
 #include "support/mutex.hpp"

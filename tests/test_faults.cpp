@@ -18,7 +18,7 @@
 
 #include "api/scheduler_service.hpp"
 #include "api/sharded_service.hpp"
-#include "api/solver_registry.hpp"
+#include "registry/solver_registry.hpp"
 #include "support/cancellation.hpp"
 #include "support/failpoint.hpp"
 #include "workload/generators.hpp"

@@ -1,0 +1,10 @@
+"""malsched static-analysis package (standard library only).
+
+Grown from the single-file tools/lint_repo.py: each C++ file is lexed
+exactly once by lexer.py and the token stream is shared by every rule
+(plugin-style classes in token_rules.py plus the cross-file analyses in
+lock_order.py / layering.py / stats_check.py built on cpp_model.py).
+
+Entry point: cli.main() -- tools/lint_repo.py is a thin shim over it, so
+`python3 tools/lint_repo.py` keeps working unchanged.
+"""

@@ -1,0 +1,159 @@
+"""Command-line front end; tools/lint_repo.py is a thin shim over main().
+
+Modes:
+  (no files)    lint the whole tree (src/ tests/ bench/ examples/), with
+                scopes and allowlists applied
+  file...       lint exactly those files, strict: scopes/allowlists off
+                (this is what --self-test uses on the fixtures)
+  --self-test   run every fixture under tests/static/lint_fixtures/ and
+                compare the diagnostics against its lint:expect(...) tags
+  --list-rules  print every rule id with its one-line doc
+  --json        machine-readable diagnostics (and stats) on stdout
+  --stats       timing breakdown: files, one-pass lex time, per-rule time
+  --github      additionally emit GitHub Actions ::error annotations
+"""
+
+import argparse
+import collections
+import json
+import os
+import sys
+
+from . import engine
+from .cpp_model import ModelCache
+from .engine import DIRECTIVE_RE, FIXTURE_DIR, REPO_ROOT
+from .layering import LayeringRule
+from .lock_order import LockOrderRule
+from .stats_check import StatsExhaustivenessRule
+from .token_rules import TOKEN_RULES
+
+
+def build_rules():
+    cache = ModelCache()
+    return TOKEN_RULES + [
+        LockOrderRule(cache),
+        LayeringRule(),
+        StatsExhaustivenessRule(cache),
+    ]
+
+
+def self_test(rules):
+    """Every fixture must trip exactly its lint:expect(...) tags -- as a
+    multiset, so a fixture seeding two findings declares two tags."""
+    fixture_dir = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    failures = []
+    names = sorted(name for name in os.listdir(fixture_dir)
+                   if name.endswith(engine.CXX_EXTENSIONS))
+    if not names:
+        print("lint --self-test: no fixtures found", file=sys.stderr)
+        return 1
+    for name in names:
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as handle:
+            expected = sorted(rule for kind, rule in
+                              DIRECTIVE_RE.findall(handle.read())
+                              if kind == "expect")
+        diags, _ = engine.run([path], rules, strict=True)
+        got = sorted(d.rule for d in diags)
+        if got != expected:
+            failures.append(name)
+            print(f"FAIL {name}: expected {expected or ['<clean>']}, "
+                  f"got {got or ['<clean>']}", file=sys.stderr)
+            for diag in diags:
+                print(f"     {diag}", file=sys.stderr)
+        else:
+            print(f"ok   {name}: {expected or ['<clean>']}")
+    covered = {rule for name in names
+               for rule in _expected_rules(os.path.join(fixture_dir, name))}
+    missing = sorted({rule.id for rule in rules} - covered)
+    if missing:
+        failures.append("<coverage>")
+        print(f"FAIL coverage: no fixture seeds rule(s): {', '.join(missing)}",
+              file=sys.stderr)
+    if failures:
+        print(f"lint --self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"lint --self-test: {len(names)} fixtures ok, "
+          f"all {len(covered)} exercised rule ids covered")
+    return 0
+
+
+def _expected_rules(path):
+    with open(path, encoding="utf-8") as handle:
+        return [rule for kind, rule in DIRECTIVE_RE.findall(handle.read())
+                if kind == "expect"]
+
+
+def list_rules(rules):
+    seen = collections.OrderedDict()
+    for rule in rules:
+        doc = rule.doc
+        if rule.id in seen:
+            doc = f"{seen[rule.id]}; {doc}"
+        seen[rule.id] = doc
+    for rule_id, doc in seen.items():
+        print(f"{rule_id:24} {doc}")
+    return 0
+
+
+def github_annotations(diagnostics):
+    for diag in diagnostics:
+        message = diag.message
+        if diag.witness:
+            message += " | " + " | ".join(diag.witness)
+        # workflow-command escaping for multi-line/percent payloads
+        message = (message.replace("%", "%25")
+                   .replace("\r", "%0D").replace("\n", "%0A"))
+        print(f"::error file={diag.rel},line={max(diag.line, 1)},"
+              f"title=lint({diag.rule})::{message}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="lint_repo", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="files to lint (default: the whole tree)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check every fixture trips exactly its tags")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and docs")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="JSON diagnostics on stdout")
+    parser.add_argument("--stats", action="store_true",
+                        help="timing breakdown (stderr in human mode)")
+    parser.add_argument("--github", action="store_true",
+                        help="also emit GitHub Actions ::error annotations")
+    args = parser.parse_args(argv)
+
+    rules = build_rules()
+    if args.list_rules:
+        return list_rules(rules)
+    if args.self_test:
+        return self_test(rules)
+
+    strict = bool(args.files)
+    paths = ([os.path.abspath(f) for f in args.files] if strict
+             else list(engine.tree_files()))
+    diagnostics, stats = engine.run(paths, rules, strict)
+
+    if args.as_json:
+        payload = {"diagnostics": [d.as_json() for d in diagnostics],
+                   "ok": not diagnostics}
+        if args.stats:
+            payload["stats"] = stats.as_json()
+        print(json.dumps(payload, indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag)
+        if args.stats:
+            print(stats.render(), file=sys.stderr)
+        if diagnostics:
+            print(f"lint: {len(diagnostics)} finding(s)", file=sys.stderr)
+    if args.github and diagnostics:
+        github_annotations(diagnostics)
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

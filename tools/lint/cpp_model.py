@@ -1,0 +1,559 @@
+"""Heuristic C++ structure extraction from the shared token stream.
+
+Feeds the cross-file analyses (lock_order.py, stats_check.py) with:
+
+  * classes: per class, the declared data members and their (peeled)
+    types -- `std::unique_ptr<WorkerPool> pool_;` maps pool_ -> WorkerPool,
+    which is what resolves `pool_.post(...)` to WorkerPool::post.
+  * functions: qualified name, thread-safety annotations found on the
+    declaration or the definition (MALSCHED_REQUIRES / MALSCHED_ACQUIRE),
+    and the body events in source order: LockGuard acquisitions with the
+    guard's brace depth, and calls with the receiver expression.
+
+This is a single-pass brace-matching scanner, not a parser; it targets the
+repo's idioms (out-of-line `Class::method` definitions, annotated wrapper
+types, RAII guards). Lambdas are analyzed as separate anonymous functions
+and their lock acquisitions are NOT attributed to the call site that
+constructs them -- a lambda handed to a pool or thread runs later, outside
+the locks held at construction (the deferred-execution assumption; it
+trades false deadlock reports for possible false negatives).
+
+Limitations, documented so nobody trusts this past its design point: no
+template instantiation, no overload resolution (an unresolvable call adds
+no edges), and mutex identity is per-CLASS (`SchedulerService::mutex_`),
+not per-object -- two instances of one class share a key, which is why
+call-mediated self-edges are dropped rather than reported.
+"""
+
+import collections
+import re
+
+# Tokens that can never start or be a function/field name.
+_KEYWORDS = frozenset("""
+    if else for while do switch case default return break continue goto
+    sizeof alignof alignas decltype typedef using static_assert new delete
+    throw try catch const constexpr consteval constinit volatile mutable
+    static inline extern friend virtual explicit operator template typename
+    public private protected void bool char int long short float double
+    signed unsigned auto register thread_local noexcept override final
+    co_await co_return co_yield
+""".split())
+
+# Builtin type keywords: excluded from name candidates but sufficient as a
+# field's type (`unsigned long long count{0};` has no non-keyword type id).
+_BUILTIN_TYPES = frozenset(
+    "void bool char int long short float double signed unsigned auto".split())
+
+# Wrapper templates peeled when deriving a field's interesting type.
+_WRAPPERS = frozenset("""
+    std unique_ptr shared_ptr weak_ptr optional vector deque array list
+    map set atomic pair tuple function reference_wrapper const
+""".split())
+
+Field = collections.namedtuple("Field", ("name", "type", "line"))
+GuardEvent = collections.namedtuple("GuardEvent", ("kind", "expr", "line", "depth"))
+CallEvent = collections.namedtuple(
+    "CallEvent", ("kind", "receiver", "name", "line", "depth"))
+
+
+class FunctionInfo:
+    def __init__(self, cls, name, rel, line):
+        self.cls = cls          # enclosing/owning class name or None
+        self.name = name
+        self.rel = rel
+        self.line = line
+        self.requires = []      # annotation argument expressions
+        self.acquires_ann = []  # MALSCHED_ACQUIRE argument expressions
+        self.events = []        # GuardEvent/CallEvent in source order
+        self.locals = {}        # local var name -> type name (best effort)
+        self.body_tokens = []   # the definition's token slice (last wins)
+
+    @property
+    def qualname(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class ClassInfo:
+    def __init__(self, name, rel, line):
+        self.name = name
+        self.rel = rel
+        self.line = line
+        self.fields = collections.OrderedDict()  # name -> Field
+
+
+class Model:
+    """The cross-file model: classes and functions from every scanned file."""
+
+    def __init__(self):
+        self.classes = {}    # name -> ClassInfo (last definition wins)
+        self.functions = {}  # qualname -> FunctionInfo (decl+def merged)
+        self.by_method = collections.defaultdict(list)  # name -> [qualname]
+
+    def add_file(self, sf):
+        tokens = [t for t in sf.tokens if t.kind != "pp"]
+        _ScopeParser(self, sf.rel, tokens).parse()
+
+    def function(self, cls, name, rel, line, has_body=False):
+        """Look up or create a FunctionInfo. A declaration merges with the
+        definition (annotations live on either). A SECOND definition of the
+        same qualified name -- two files each defining a local `struct Gate`,
+        or every TEST(...) macro body parsing as a function named TEST --
+        must NOT merge: concatenated bodies would leak one body's held
+        locks into the next. It gets a unique key instead."""
+        qualname = f"{cls}::{name}" if cls else name
+        fn = self.functions.get(qualname)
+        if fn is None:
+            fn = FunctionInfo(cls, name, rel, line)
+            self.functions[qualname] = fn
+            self.by_method[name].append(qualname)
+            return fn
+        if has_body and fn.body_tokens:
+            unique = f"{qualname}@{rel}:{line}"
+            clone = self.functions.get(unique)
+            if clone is None:
+                clone = FunctionInfo(cls, name, rel, line)
+                self.functions[unique] = clone
+                self.by_method[name].append(unique)
+            return clone
+        return fn
+
+
+class ModelCache:
+    """One Model per file set, shared by every TreeRule in a run (the
+    engine invokes rules independently; this keeps extraction single-pass).
+    Keyed on object identity plus (rel, len) so a recycled id from a later
+    self-test run cannot alias a stale model."""
+
+    def __init__(self):
+        self._key = None
+        self._model = None
+
+    def get(self, files):
+        key = tuple((id(sf), sf.rel, len(sf.text)) for sf in files)
+        if key != self._key:
+            model = Model()
+            for sf in files:
+                model.add_file(sf)
+            self._key = key
+            self._model = model
+        return self._model
+
+
+def _matching(tokens, i, open_tok, close_tok):
+    """Index one past the token closing the group opened at tokens[i]."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        text = tokens[i].text
+        if tokens[i].kind == "punct":
+            if text == open_tok:
+                depth += 1
+            elif text == close_tok:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _expr_text(tokens):
+    """Join an argument expression: ['table','.','mutex'] -> 'table.mutex'."""
+    return "".join(t.text for t in tokens)
+
+
+class _ScopeParser:
+    def __init__(self, model, rel, tokens):
+        self.model = model
+        self.rel = rel
+        self.tokens = tokens
+
+    def parse(self):
+        self.scope(0, len(self.tokens), None)
+
+    # ------------------------------------------------------------ scopes
+
+    def scope(self, i, end, cls):
+        """Parse declarations between i and end inside class `cls` (None at
+        namespace/global scope). Returns nothing; records into the model."""
+        t = self.tokens
+        while i < end:
+            tok = t[i]
+            if tok.kind == "punct" and tok.text == ";":
+                i += 1
+                continue
+            if tok.kind == "id" and tok.text == "namespace":
+                j = i + 1
+                while j < end and not (t[j].kind == "punct" and t[j].text in "{;"):
+                    j += 1
+                if j < end and t[j].text == "{":
+                    close = _matching(t, j, "{", "}")
+                    self.scope(j + 1, close - 1, None)
+                    i = close
+                else:
+                    i = j + 1
+                continue
+            if tok.kind == "id" and tok.text == "enum":
+                i = self.skip_statement(i, end)
+                continue
+            if tok.kind == "id" and tok.text in ("class", "struct") and \
+                    self.is_class_definition(i, end):
+                i = self.class_definition(i, end)
+                continue
+            if tok.kind == "id" and tok.text in ("public", "private", "protected") \
+                    and i + 1 < end and t[i + 1].text == ":":
+                i += 2
+                continue
+            if tok.kind == "id" and tok.text == "template":
+                # skip the parameter list; the declaration itself follows
+                if i + 1 < end and t[i + 1].text == "<":
+                    i = self.skip_angles(i + 1, end)
+                else:
+                    i += 1
+                continue
+            i = self.declaration(i, end, cls)
+
+    def is_class_definition(self, i, end):
+        """class/struct ... { -- as opposed to a forward declaration or a
+        variable of class type ('struct tm now;')."""
+        t = self.tokens
+        j = i + 1
+        while j < end:
+            tok = t[j]
+            if tok.kind == "punct":
+                if tok.text == "{":
+                    return True
+                if tok.text in (";", "=", ")"):
+                    return False
+                if tok.text == "(":  # attribute-style macro after the keyword
+                    j = _matching(t, j, "(", ")")
+                    continue
+            j += 1
+        return False
+
+    def class_definition(self, i, end):
+        t = self.tokens
+        name = None
+        j = i + 1
+        while j < end and not (t[j].kind == "punct" and t[j].text in "{:"):
+            if t[j].kind == "id":
+                if j + 1 < end and t[j + 1].text == "(":
+                    j = _matching(t, j + 1, "(", ")")  # capability macro
+                    continue
+                if t[j].text != "final":
+                    name = t[j].text
+            j += 1
+        while j < end and not (t[j].kind == "punct" and t[j].text == "{"):
+            j += 1  # base-clause
+        if j >= end:
+            return end
+        close = _matching(t, j, "{", "}")
+        if name:
+            info = ClassInfo(name, self.rel, t[i].line)
+            self.model.classes[name] = info
+            self.scope(j + 1, close - 1, name)
+        # `} instance_name;` after the brace is skipped by the ';' handler.
+        return close
+
+    # ------------------------------------------------- one declaration
+
+    def declaration(self, i, end, cls):
+        """Parse one statement starting at i: function definition,
+        function declaration, or (in class scope) a data member."""
+        t = self.tokens
+        paren = None       # (name_index, open_paren_index) of candidate fn
+        j = i
+        while j < end:
+            tok = t[j]
+            if tok.kind == "punct":
+                if tok.text == ";":
+                    self.finish_declaration(i, j, cls, paren, body=None)
+                    return j + 1
+                if tok.text == "{":
+                    if paren is None:
+                        # brace initializer on a field: skip it, keep going
+                        j = _matching(t, j, "{", "}")
+                        continue
+                    close = _matching(t, j, "{", "}")
+                    self.finish_declaration(i, j, cls, paren, body=(j + 1, close - 1))
+                    return close
+                if tok.text == "(":
+                    if paren is None and j > i and t[j - 1].kind == "id" and \
+                            t[j - 1].text not in _KEYWORDS:
+                        paren = (j - 1, j)
+                    j = _matching(t, j, "(", ")")
+                    continue
+                if tok.text == "=":
+                    # `= default; / = delete; / = 0;` or a field initializer
+                    while j < end and not (t[j].kind == "punct" and t[j].text == ";"):
+                        if t[j].text == "{":
+                            j = _matching(t, j, "{", "}")
+                        elif t[j].text == "(":
+                            j = _matching(t, j, "(", ")")
+                        else:
+                            j += 1
+                    continue
+                if tok.text == ":" and paren is not None and \
+                        (j == 0 or t[j - 1].text != ":") and \
+                        (j + 1 >= end or t[j + 1].text != ":"):
+                    # constructor initializer list: skip member-init groups
+                    # until the body brace. A `{` directly after an id (or a
+                    # closing template `>`) is a member BRACE-init group like
+                    # `n_{n}` / `Base{...}`, not the body -- the body brace
+                    # follows a completed group (`)` / `}`) or the `:` itself.
+                    j += 1
+                    while j < end:
+                        grp = t[j]
+                        if grp.kind == "punct" and grp.text == "(":
+                            j = _matching(t, j, "(", ")")
+                            continue
+                        if grp.kind == "punct" and grp.text == "{":
+                            prev = t[j - 1]
+                            if prev.kind == "id" or prev.text == ">":
+                                j = _matching(t, j, "{", "}")
+                                continue
+                            break
+                        j += 1
+                    continue
+            j += 1
+        return end
+
+    def finish_declaration(self, i, stop, cls, paren, body):
+        t = self.tokens
+        if paren is not None:
+            name_idx = paren[0]
+            name = t[name_idx].text
+            owner = cls
+            # out-of-line definition: Class::method(...)
+            if name_idx >= 2 and t[name_idx - 1].text == "::" and \
+                    t[name_idx - 2].kind == "id":
+                owner = t[name_idx - 2].text
+            fn = self.model.function(owner, name, self.rel, t[name_idx].line,
+                                     has_body=body is not None)
+            self.collect_annotations(paren[1], stop, fn)
+            if body is not None:
+                fn.body_tokens = t[body[0]:body[1]]
+                _BodyParser(self, fn, cls or owner).parse(body[0], body[1])
+            return
+        if cls is not None and body is None:
+            self.record_field(i, stop, cls)
+
+    def collect_annotations(self, i, stop, fn):
+        """MALSCHED_REQUIRES(...) / MALSCHED_ACQUIRE(...) between the
+        parameter list and the body/semicolon."""
+        t = self.tokens
+        j = i
+        while j < stop:
+            tok = t[j]
+            if tok.kind == "id" and tok.text in ("MALSCHED_REQUIRES",
+                                                 "MALSCHED_ACQUIRE") and \
+                    j + 1 < stop and t[j + 1].text == "(":
+                close = _matching(t, j + 1, "(", ")")
+                args = self.split_args(j + 2, close - 1)
+                target = fn.requires if tok.text == "MALSCHED_REQUIRES" else fn.acquires_ann
+                for arg in args:
+                    if arg and not arg.startswith("!"):
+                        target.append(arg)
+                j = close
+                continue
+            j += 1
+
+    def split_args(self, i, stop):
+        t = self.tokens
+        args, current, depth = [], [], 0
+        for j in range(i, stop):
+            tok = t[j]
+            if tok.kind == "punct":
+                if tok.text in "(<[":
+                    depth += 1
+                elif tok.text in ")>]":
+                    depth -= 1
+                elif tok.text == "," and depth == 0:
+                    args.append(_expr_text(current))
+                    current = []
+                    continue
+            current.append(tok)
+        if current:
+            args.append(_expr_text(current))
+        return args
+
+    def record_field(self, i, stop, cls):
+        """Class-scope data member: last depth-0 id that is not a
+        function-style macro is the field name; the type is the last
+        non-wrapper id before it (or the builtin keyword type, for
+        `unsigned long long count{0};`-style declarations)."""
+        t = self.tokens
+        ids = []
+        builtin = None
+        j = i
+        while j < stop:
+            tok = t[j]
+            if tok.kind == "punct" and tok.text in "({":
+                j = _matching(t, j, tok.text, ")" if tok.text == "(" else "}")
+                continue
+            if tok.kind == "punct" and tok.text == "=":
+                break
+            if tok.kind == "id":
+                if tok.text in _BUILTIN_TYPES:
+                    builtin = tok.text
+                elif tok.text not in _KEYWORDS:
+                    if j + 1 < stop and t[j + 1].kind == "punct" and \
+                            t[j + 1].text == "(":
+                        j = _matching(t, j + 1, "(", ")")  # annotation macro
+                        continue
+                    ids.append((tok.text, tok.line))
+            j += 1
+        if not ids or (len(ids) < 2 and builtin is None):
+            return
+        name, line = ids[-1]
+        type_name = builtin
+        for text, _ in reversed([entry for entry in ids[:-1]]):
+            if text not in _WRAPPERS:
+                type_name = text
+                break
+        if type_name is None:
+            return
+        info = self.model.classes.get(cls)
+        if info is not None and name not in info.fields:
+            info.fields[name] = Field(name, type_name, line)
+
+    def skip_statement(self, i, end):
+        t = self.tokens
+        j = i
+        while j < end:
+            if t[j].kind == "punct":
+                if t[j].text == "{":
+                    j = _matching(t, j, "{", "}")
+                    continue
+                if t[j].text == ";":
+                    return j + 1
+            j += 1
+        return end
+
+    def skip_angles(self, i, end):
+        t = self.tokens
+        depth = 0
+        j = i
+        while j < end:
+            if t[j].kind == "punct":
+                if t[j].text == "<":
+                    depth += 1
+                elif t[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        return j + 1
+                elif t[j].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        return j + 1
+            j += 1
+        return end
+
+
+class _BodyParser:
+    """Events inside one function body: guard acquisitions (with brace
+    depth, so lifetime tracking can pop them), calls, local declarations.
+    Lambdas become separate anonymous functions (see module doc)."""
+
+    def __init__(self, scope_parser, fn, cls):
+        self.sp = scope_parser
+        self.fn = fn
+        self.cls = cls
+
+    def parse(self, i, end):
+        t = self.sp.tokens
+        depth = 0
+        while i < end:
+            tok = t[i]
+            if tok.kind == "punct":
+                if tok.text == "{":
+                    depth += 1
+                    i += 1
+                    continue
+                if tok.text == "}":
+                    depth -= 1
+                    self.fn.events.append(GuardEvent("scope-end", "", tok.line, depth))
+                    i += 1
+                    continue
+                if tok.text == "[" and self.is_lambda_intro(i):
+                    i = self.lambda_body(i, end)
+                    continue
+                i += 1
+                continue
+            if tok.kind == "id":
+                # local declarations: `Type name` ... (best effort, for
+                # resolving `reg.mutex`-style guard expressions)
+                if tok.text == "LockGuard":
+                    i = self.lock_guard(i, end, depth)
+                    continue
+                nxt = t[i + 1] if i + 1 < end else None
+                if nxt is not None and nxt.kind == "id" and tok.text not in _KEYWORDS \
+                        and tok.text not in ("const",):
+                    if i + 2 < end and t[i + 2].kind == "punct" and \
+                            t[i + 2].text in (";", "=", "{", "("):
+                        self.fn.locals.setdefault(nxt.text, tok.text)
+                if nxt is not None and nxt.kind == "punct" and nxt.text == "(" \
+                        and tok.text not in _KEYWORDS:
+                    receiver = self.receiver_of(i)
+                    if receiver != "<skip>":
+                        self.fn.events.append(
+                            CallEvent("call", receiver, tok.text, tok.line, depth))
+                i += 1
+                continue
+            i += 1
+        return end
+
+    def is_lambda_intro(self, i):
+        t = self.sp.tokens
+        if i == 0:
+            return True
+        prev = t[i - 1]
+        if prev.kind in ("id", "num", "str", "chr"):
+            return prev.text in _KEYWORDS and prev.text not in ("this",)
+        return prev.text not in (")", "]")
+
+    def lambda_body(self, i, end):
+        """Analyze the lambda as its own anonymous function; do NOT
+        attribute its acquisitions to the enclosing call site."""
+        t = self.sp.tokens
+        j = _matching(t, i, "[", "]")
+        if j < end and t[j].kind == "punct" and t[j].text == "(":
+            j = _matching(t, j, "(", ")")
+        while j < end and not (t[j].kind == "punct" and t[j].text in "{;,)"):
+            j += 1
+        if j >= end or t[j].text != "{":
+            return j
+        close = _matching(t, j, "{", "}")
+        anon = self.sp.model.function(
+            None, f"<lambda:{self.sp.rel}:{t[i].line}>", self.sp.rel, t[i].line)
+        _BodyParser(self.sp, anon, self.cls).parse(j + 1, close - 1)
+        return close
+
+    def lock_guard(self, i, end, depth):
+        """`[const] LockGuard name(expr);` -- record the acquisition."""
+        t = self.sp.tokens
+        j = i + 1
+        if j < end and t[j].kind == "id" and t[j].text != "(":
+            j += 1  # the guard variable name
+        if j >= end or not (t[j].kind == "punct" and t[j].text in "({"):
+            return i + 1
+        close = _matching(t, j, t[j].text, ")" if t[j].text == "(" else "}")
+        expr = _expr_text(t[j + 1:close - 1])
+        if expr:
+            self.fn.events.append(GuardEvent("guard", expr, t[i].line, depth))
+        return close
+
+    def receiver_of(self, i):
+        """Receiver for the call whose name token is at i: '' for a bare
+        call, the object/class name for x.f / x->f / X::f, '<skip>' when
+        the receiver is an expression we cannot resolve."""
+        t = self.sp.tokens
+        if i == 0:
+            return ""
+        prev = t[i - 1]
+        if prev.kind != "punct":
+            return ""
+        if prev.text in (".", "->", "::"):
+            if i >= 2 and t[i - 2].kind == "id":
+                return t[i - 2].text
+            return "<skip>"
+        return ""

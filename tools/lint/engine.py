@@ -1,0 +1,199 @@
+"""Rule engine: lex each file exactly once, share the artifacts.
+
+A SourceFile bundles everything any rule could want -- raw text, raw
+lines, the token stream, and the stripped code lines -- produced by ONE
+lexer pass (the pre-package linter re-stripped every file once per rule;
+`--stats` shows the difference).
+
+Two rule shapes:
+
+  * FileRule.check_file(sf) -> [Diagnostic]: line-local convention rules.
+    Scope prefixes and per-file allowlists apply in tree mode and are
+    ignored in strict (explicit file list / fixture) mode.
+  * TreeRule.check_tree(files) -> [Diagnostic]: whole-tree analyses
+    (lock-order graph, layering DAG, stats exhaustiveness). They see every
+    scanned file at once; in strict mode they run over exactly the listed
+    files, which is how their fixtures self-test.
+
+Suppression is uniform: `// lint:allow(<rule>)` on the diagnostic's line
+or the line directly above, applied by the engine after rules run.
+"""
+
+import os
+import re
+import time
+
+from . import lexer
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+FIXTURE_DIR = os.path.join("tests", "static", "lint_fixtures")
+CXX_EXTENSIONS = (".hpp", ".h", ".hh", ".cpp", ".cc", ".cxx")
+
+DIRECTIVE_RE = re.compile(r"lint:(allow|expect)\(([a-z0-9-]+)\)")
+
+
+class SourceFile:
+    """One lexed file; every rule reads from this, nobody re-lexes."""
+
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.tokens, self.code_lines = lexer.lex(text)
+        self.code = "\n".join(self.code_lines)
+        self.allows = {}  # line -> set of rule ids (covers that line + next)
+        for lineno, line in enumerate(self.raw_lines, 1):
+            for kind, rule in DIRECTIVE_RE.findall(line):
+                if kind == "allow":
+                    self.allows.setdefault(lineno, set()).add(rule)
+
+    def allowed(self, lineno, rule):
+        return (rule in self.allows.get(lineno, ()) or
+                rule in self.allows.get(lineno - 1, ()))
+
+    def file_allowed(self, rule):
+        return any(rule in rules for rules in self.allows.values())
+
+
+class Diagnostic:
+    def __init__(self, rel, line, rule, message, witness=None):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.witness = witness or []  # extra lines: cycle paths, chains
+
+    def __str__(self):
+        head = f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+        if self.witness:
+            head += "".join(f"\n    {step}" for step in self.witness)
+        return head
+
+    def as_json(self):
+        out = {"path": self.rel, "line": self.line, "rule": self.rule,
+               "message": self.message}
+        if self.witness:
+            out["witness"] = list(self.witness)
+        return out
+
+
+class FileRule:
+    """Per-file rule. Subclasses set id/doc and implement check_file."""
+
+    id = ""
+    doc = ""
+    scope = None       # path prefixes (tree mode), None = everywhere
+    allowlist = frozenset()
+
+    def applies(self, rel, strict):
+        if strict:
+            return True
+        if self.scope and not rel.startswith(tuple(s + os.sep for s in self.scope)):
+            return False
+        return rel not in self.allowlist
+
+    def check_file(self, sf):
+        raise NotImplementedError
+
+
+class TreeRule:
+    """Whole-tree rule. Sees every scanned SourceFile at once."""
+
+    id = ""
+    doc = ""
+
+    def check_tree(self, files, strict):
+        raise NotImplementedError
+
+
+def load_file(path, rel):
+    with open(path, encoding="utf-8") as handle:
+        return SourceFile(path, rel, handle.read())
+
+
+def tree_files():
+    for top in SCAN_DIRS:
+        root_dir = os.path.join(REPO_ROOT, top)
+        for dirpath, dirnames, filenames in os.walk(root_dir):
+            rel_dir = os.path.relpath(dirpath, REPO_ROOT)
+            if rel_dir.startswith(FIXTURE_DIR):
+                dirnames[:] = []
+                continue
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+class RunStats:
+    """--stats payload: where the wall time went."""
+
+    def __init__(self):
+        self.files = 0
+        self.lex_seconds = 0.0
+        self.rule_seconds = {}  # rule id -> seconds
+        self.total_seconds = 0.0
+
+    def as_json(self):
+        return {
+            "files": self.files,
+            "lex_seconds": round(self.lex_seconds, 4),
+            "rule_seconds": {rule: round(sec, 4)
+                             for rule, sec in sorted(self.rule_seconds.items())},
+            "total_seconds": round(self.total_seconds, 4),
+        }
+
+    def render(self):
+        lines = [f"lint --stats: {self.files} files, "
+                 f"lex {self.lex_seconds:.3f}s (one pass, shared by all rules), "
+                 f"total {self.total_seconds:.3f}s"]
+        for rule, sec in sorted(self.rule_seconds.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {rule:22} {sec:.3f}s")
+        return "\n".join(lines)
+
+
+def run(paths, rules, strict):
+    """Lint `paths` with `rules`. Returns (diagnostics, RunStats).
+
+    Load errors surface as rule-id 'io' diagnostics, like before."""
+    stats = RunStats()
+    t_start = time.monotonic()
+
+    files = []
+    diagnostics = []
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        t0 = time.monotonic()
+        try:
+            files.append(load_file(path, rel))
+        except (OSError, UnicodeDecodeError) as err:
+            diagnostics.append(Diagnostic(rel, 0, "io", str(err)))
+        stats.lex_seconds += time.monotonic() - t0
+    stats.files = len(files)
+
+    for rule in rules:
+        t0 = time.monotonic()
+        found = []
+        if isinstance(rule, TreeRule):
+            found = rule.check_tree(files, strict)
+        else:
+            for sf in files:
+                if rule.applies(sf.rel, strict):
+                    found.extend(rule.check_file(sf))
+        stats.rule_seconds[rule.id] = (
+            stats.rule_seconds.get(rule.id, 0.0) + time.monotonic() - t0)
+        diagnostics.extend(found)
+
+    by_rel = {sf.rel: sf for sf in files}
+    kept = []
+    for diag in diagnostics:
+        sf = by_rel.get(diag.rel)
+        if sf is not None and sf.allowed(diag.line, diag.rule):
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: (d.rel, d.line, d.rule, d.message))
+    stats.total_seconds = time.monotonic() - t_start
+    return kept, stats

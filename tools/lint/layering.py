@@ -1,0 +1,146 @@
+"""Layering DAG check over the #include graph.
+
+The architecture is a strict layering (low layers must not include high
+ones):
+
+    support -> model -> {knapsack, packing, sched} -> core -> baselines
+        -> {graph, workload} -> registry -> exec -> api
+        -> {bench, examples, tests, tools}
+
+Edges are read out of the quoted #include directives the shared lexer
+kept inside pp tokens (system includes are out of scope). A file's layer
+is its directory under src/ (everything outside src/ is the top layer and
+may include anything); a `// lint:layer(<dir>)` directive pins a file to
+a layer explicitly, which is how the fixtures simulate a misplaced file.
+
+A violation reports the back-edge and, when the included file reaches
+back into the includer's layer through further includes, the full
+offending chain -- the cycle that makes the layering unbuildable as
+separate libraries.
+"""
+
+import collections
+import os
+import re
+
+from .engine import Diagnostic, TreeRule
+
+LAYER_RANK = {
+    "support": 0,
+    "model": 10,
+    "knapsack": 20,
+    "packing": 20,
+    "sched": 20,
+    "core": 30,
+    "baselines": 40,
+    "graph": 50,
+    "workload": 50,
+    "registry": 60,
+    "exec": 70,
+    "api": 80,
+    "top": 90,  # bench / examples / tests / tools: may include anything
+}
+
+LAYER_DIRECTIVE_RE = re.compile(r"lint:layer\(([a-z]+)\)")
+
+
+def include_lines(sf):
+    """(line, path) pairs for quoted includes in this file."""
+    out = []
+    for token in sf.tokens:
+        if token.kind != "pp":
+            continue
+        match = re.match(r'#\s*include\s*"([^"]+)"', token.text)
+        if match:
+            out.append((token.line, match.group(1)))
+    return out
+
+
+class LayeringRule(TreeRule):
+    id = "layering"
+    doc = ("include-graph layering: support -> model -> solvers -> core -> "
+           "baselines -> graph/workload -> registry -> exec -> api -> top; "
+           "a lower layer must not include a higher one")
+
+    @staticmethod
+    def layer_of(sf):
+        override = LAYER_DIRECTIVE_RE.search(sf.text)
+        if override and override.group(1) in LAYER_RANK:
+            return override.group(1)
+        parts = sf.rel.split(os.sep)
+        if parts[0] == "src" and len(parts) > 2 and parts[1] in LAYER_RANK:
+            return parts[1]
+        return "top"
+
+    @staticmethod
+    def layer_of_include(path):
+        """Layer of an include target from its path (quoted includes are
+        rooted at src/ by the build's -I; same-directory includes carry no
+        directory and impose no constraint)."""
+        head = path.split("/")[0]
+        if head in ("bench", "examples", "tests", "tools"):
+            return "top"
+        if head in LAYER_RANK:
+            return head
+        return None
+
+    def check_tree(self, files, strict):
+        # include graph between scanned files, for chain witnesses
+        by_rel = {sf.rel: sf for sf in files}
+        resolved = {}  # rel -> [(line, include_path, target_rel or None)]
+        for sf in files:
+            entries = []
+            for line, path in include_lines(sf):
+                candidates = (os.path.join("src", *path.split("/")),
+                              os.path.join(*path.split("/")))
+                target = next((c for c in candidates if c in by_rel), None)
+                entries.append((line, path, target))
+            resolved[sf.rel] = entries
+
+        out = []
+        for sf in files:
+            layer = self.layer_of(sf)
+            rank = LAYER_RANK[layer]
+            for line, path, target in resolved[sf.rel]:
+                inc_layer = self.layer_of_include(path)
+                if inc_layer is None or LAYER_RANK[inc_layer] <= rank:
+                    continue
+                witness = [f"{sf.rel}:{line}: #include \"{path}\" "
+                           f"({layer}, rank {rank} -> {inc_layer}, rank "
+                           f"{LAYER_RANK[inc_layer]})"]
+                witness += self.chain_back(target, layer, resolved, by_rel)
+                out.append(Diagnostic(
+                    sf.rel, line, self.id,
+                    f"layering violation: {layer}/ must not include "
+                    f"{inc_layer}/ ({path}); invert the dependency or move "
+                    "the shared vocabulary to a lower layer", witness))
+        return out
+
+    def chain_back(self, target, includer_layer, resolved, by_rel):
+        """If the included file transitively includes something in the
+        includer's layer, render that chain -- the concrete cycle."""
+        if target is None:
+            return []
+        parent = {target: None}
+        queue = collections.deque([target])
+        hit = None
+        while queue and hit is None:
+            rel = queue.popleft()
+            for line, path, nxt in resolved.get(rel, ()):
+                if nxt is None or nxt in parent:
+                    continue
+                parent[nxt] = (rel, line, path)
+                if self.layer_of(by_rel[nxt]) == includer_layer:
+                    hit = nxt
+                    break
+                queue.append(nxt)
+        if hit is None:
+            return []
+        chain = []
+        cursor = hit
+        while parent[cursor] is not None:
+            rel, line, path = parent[cursor]
+            chain.append(f"{rel}:{line}: #include \"{path}\"")
+            cursor = rel
+        chain.reverse()
+        return [f"  closing the cycle back into {includer_layer}/:"] + chain

@@ -1,0 +1,179 @@
+"""Comment/string/raw-string-aware C++ tokenizer shared by every lint rule.
+
+One pass over the source text produces:
+
+  * a token stream (`Token(kind, text, line)`) for the structural analyses
+    (lock-order graph, layering DAG, stats exhaustiveness), and
+  * `code_lines`, a comment- and literal-stripped rendering with the
+    original line structure, for the line-oriented convention rules that
+    were ported from the pre-package linter (their regexes must never fire
+    on prose or quoted examples).
+
+Handled: // and /* */ comments (including line-continuation inside a //
+comment), "..." and '...' literals with escapes, encoding-prefixed and raw
+string literals R"delim(...)delim" (newlines preserved for line counting),
+backslash-newline line splices, preprocessor directives folded into single
+'pp' tokens (continuations and raw strings inside a directive do not end
+it), and the ISO 646 digraphs (<% %> <: :> %:), normalized to their
+canonical spellings.
+
+Token kinds:
+  id     identifier or keyword
+  num    numeric literal (pp-number)
+  str    string literal (text includes quotes; raw strings included)
+  chr    character literal
+  punct  operator/punctuator, multi-character forms kept whole
+  pp     one whole preprocessor directive (text has comments blanked,
+         string CONTENTS kept -- include paths must survive for the
+         layering analysis -- and splices collapsed to spaces)
+"""
+
+import collections
+import re
+
+Token = collections.namedtuple("Token", ("kind", "text", "line"))
+
+# Longest-match-first alternation; re.S so block comments and raw strings
+# may span lines. The str/chr arms tolerate an unterminated literal at
+# end-of-line (they stop there) so one bad line cannot eat the whole file.
+_MASTER = re.compile(
+    r"""
+    (?P<lcom>//(?:\\\r?\n|[^\n])*)
+  | (?P<bcom>/\*.*?(?:\*/|\Z))
+  | (?P<raw>(?:u8|u|U|L)?R"(?P<rdelim>[^()\\\s"]{0,16})\(.*?\)(?P=rdelim)")
+  | (?P<str>(?:u8|u|U|L)?"(?:\\\r?\n|\\.|[^"\\\n])*(?:"|(?=\n)|\Z))
+  | (?P<chr>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])*(?:'|(?=\n)|\Z))
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<num>\.?\d(?:['\w.]|[eEpP][+-])*)
+  | (?P<nl>\r?\n)
+  | (?P<ws>[ \t\v\f]+)
+  | (?P<cont>\\\r?\n)
+  | (?P<punct><<=|>>=|\.\.\.|->\*|::|->|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|
+        \+=|-=|\*=|/=|%=|&=|\^=|\|=|<%|%>|<:|:>|%:%:|%:|.)
+    """,
+    re.S | re.X)
+
+_DIGRAPHS = {"<%": "{", "%>": "}", "<:": "[", ":>": "]", "%:": "#", "%:%:": "##"}
+
+# Inside a captured preprocessor directive: blank comments, collapse
+# splices. String/char contents are KEPT (the layering analysis reads
+# #include "dir/file.hpp" paths out of the pp token text).
+_PP_CLEAN = re.compile(r"/\*.*?(?:\*/|\Z)|//[^\n]*|\\\r?\n", re.S)
+
+
+def lex(text):
+    """Tokenize C++ source. Returns (tokens, code_lines) where code_lines
+    is the stripped per-line rendering described in the module doc."""
+    n_lines = text.count("\n") + 1
+    rendered = [[] for _ in range(n_lines)]
+    tokens = []
+
+    line = 1
+    pos = 0
+    n = len(text)
+    pp_parts = None  # accumulating a preprocessor directive
+    pp_line = 0
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def flush_pp():
+        nonlocal pp_parts
+        if pp_parts is None:
+            return
+        directive = _PP_CLEAN.sub(" ", "".join(pp_parts)).rstrip()
+        tokens.append(Token("pp", directive, pp_line))
+        # Render the whole (possibly spliced) directive on its first line;
+        # the physical lines it spanned stay blank, like a block comment.
+        rendered[pp_line - 1].append(directive)
+        pp_parts = None
+
+    while pos < n:
+        match = _MASTER.match(text, pos)
+        kind = match.lastgroup
+        raw = match.group()
+        pos = match.end()
+
+        if kind == "nl":
+            flush_pp()
+            line += 1
+            at_line_start = True
+            continue
+        if kind == "ws":
+            if pp_parts is not None:
+                pp_parts.append(raw)
+            elif not at_line_start:
+                rendered[line - 1].append(" ")
+            continue
+        if kind == "cont":
+            if pp_parts is not None:
+                pp_parts.append(raw)
+            line += raw.count("\n")
+            continue
+        if kind in ("lcom", "bcom"):
+            # Comments are transparent to at_line_start: `/* c */ #if` is
+            # still a directive, and a // comment runs to the newline anyway.
+            line += raw.count("\n")
+            if kind == "lcom" and pp_parts is not None:
+                flush_pp()
+            continue
+
+        if pp_parts is not None:
+            pp_parts.append(raw)
+            line += raw.count("\n")
+            continue
+
+        if kind == "punct":
+            canonical = _DIGRAPHS.get(raw, raw)
+            if canonical in ("#", "##") and at_line_start:
+                pp_parts = [canonical]
+                pp_line = line
+                at_line_start = False
+                continue
+            tokens.append(Token("punct", canonical, line))
+            rendered[line - 1].append(canonical)
+        elif kind in ("raw", "str", "chr"):
+            tokens.append(Token("str" if kind == "raw" else kind, raw, line))
+            # Literals are blanked from the rendering (convention rules must
+            # not fire on quoted examples), newlines inside kept for counts.
+            line += raw.count("\n")
+        else:  # id / num
+            tokens.append(Token(kind, raw, line))
+            rendered[line - 1].append(raw)
+        at_line_start = False
+
+    flush_pp()
+    code_lines = ["".join(_join(parts)) for parts in rendered]
+    return tokens, code_lines
+
+
+def _join(parts):
+    """Glue rendered fragments; a lone ' ' marker separates tokens."""
+    out = []
+    for part in parts:
+        if part == " ":
+            if out and not out[-1].endswith(" "):
+                out.append(" ")
+        else:
+            if out and out[-1] and not out[-1].endswith(" ") and part:
+                # keep identifiers from fusing when a literal sat between
+                prev, cur = out[-1][-1], part[0]
+                if (prev.isalnum() or prev == "_") and (cur.isalnum() or cur == "_"):
+                    out.append(" ")
+            out.append(part)
+    return out
+
+
+def code_tokens(tokens):
+    """The structural view: every token except preprocessor directives."""
+    return [t for t in tokens if t.kind != "pp"]
+
+
+def includes(tokens):
+    """Quoted-include targets as (line, path) pairs, from pp tokens."""
+    out = []
+    for token in tokens:
+        if token.kind != "pp":
+            continue
+        match = re.match(r'#\s*include\s*"([^"]+)"', token.text)
+        if match:
+            out.append((token.line, match.group(1)))
+    return out

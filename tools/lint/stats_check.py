@@ -1,0 +1,122 @@
+"""ServiceStats exhaustiveness: a counter added to the struct must reach
+every aggregation and serialization point, or it silently reads zero in
+the sharded rollup / never appears in bench JSON.
+
+Cross-references, per field of `struct ServiceStats`:
+
+  * the sharded-tier rollup `accumulate_stats(...)` (defined in
+    src/api/sharded_service.cpp) must read the field;
+  * the JSON serializer `write_service_stats(...)` (src/api/stats_json.cpp,
+    used by both bench writers) must emit it -- a member read or a
+    string key with the field's name counts;
+  * bench/bench_schema.json must name the field (tree mode only; the
+    schema is not a C++ file, so the rule opens it directly).
+
+The anchors are self-protecting: in tree mode, a missing struct, rollup
+function, serializer, or schema file is itself an error (someone renamed
+an anchor and the check would otherwise silently pass forever). In strict
+(fixture) mode only the sub-checks whose anchors are present run, which is
+how a single-file fixture can seed exactly one missing-field finding.
+"""
+
+import os
+import re
+
+from .engine import REPO_ROOT, Diagnostic, TreeRule
+
+STRUCT_NAME = "ServiceStats"
+ROLLUP_FN = "accumulate_stats"
+WRITER_FN = "write_service_stats"
+SCHEMA_REL = os.path.join("bench", "bench_schema.json")
+
+
+def member_reads(fn):
+    """Identifiers read through `.` or `->` in the function body."""
+    out = set()
+    tokens = fn.body_tokens
+    for i, token in enumerate(tokens[:-1]):
+        if token.kind == "punct" and token.text in (".", "->"):
+            nxt = tokens[i + 1]
+            if nxt.kind == "id":
+                out.add(nxt.text)
+    return out
+
+
+def string_keys(fn):
+    """Contents of string literals in the body (JSON key() arguments)."""
+    out = set()
+    for token in fn.body_tokens:
+        if token.kind == "str":
+            match = re.search(r'"([^"]*)"', token.text)
+            if match:
+                out.add(match.group(1))
+    return out
+
+
+class StatsExhaustivenessRule(TreeRule):
+    id = "stats-exhaustive"
+    doc = ("every ServiceStats field must be summed by accumulate_stats, "
+           "emitted by write_service_stats, and named in bench_schema.json")
+
+    def __init__(self, model_cache):
+        self.model_cache = model_cache
+
+    def find_function(self, model, name):
+        for qualname in model.by_method.get(name, ()):
+            fn = model.functions[qualname]
+            if fn.body_tokens:
+                return fn
+        return None
+
+    def check_tree(self, files, strict):
+        model = self.model_cache.get(files)
+        out = []
+
+        struct = model.classes.get(STRUCT_NAME)
+        if struct is None:
+            if not strict:
+                out.append(Diagnostic(
+                    "src", 0, self.id,
+                    f"anchor missing: no `struct {STRUCT_NAME}` found in the "
+                    "tree (renamed? update tools/lint/stats_check.py)"))
+            return out
+
+        rollup = self.find_function(model, ROLLUP_FN)
+        writer = self.find_function(model, WRITER_FN)
+        schema_path = os.path.join(REPO_ROOT, SCHEMA_REL)
+        schema_keys = None
+        if not strict:
+            for fn, label in ((rollup, ROLLUP_FN), (writer, WRITER_FN)):
+                if fn is None:
+                    out.append(Diagnostic(
+                        struct.rel, struct.line, self.id,
+                        f"anchor missing: no definition of {label}() in the "
+                        "tree (renamed? update tools/lint/stats_check.py)"))
+            if os.path.exists(schema_path):
+                with open(schema_path, encoding="utf-8") as handle:
+                    schema_keys = set(re.findall(r'"([^"]+)"', handle.read()))
+            else:
+                out.append(Diagnostic(
+                    SCHEMA_REL, 0, self.id,
+                    "anchor missing: bench_schema.json not found"))
+
+        rolled = member_reads(rollup) if rollup is not None else None
+        written = (member_reads(writer) | string_keys(writer)
+                   if writer is not None else None)
+
+        for field in struct.fields.values():
+            checks = (
+                (rolled, f"not rolled up by {ROLLUP_FN}(); a sharded-tier "
+                         "stats() call will report 0 for it"),
+                (written, f"not serialized by {WRITER_FN}(); bench JSON "
+                          "will silently omit it"),
+                (schema_keys, f"not named in {SCHEMA_REL}; the schema no "
+                              "longer describes the bench output"),
+            )
+            for seen, why in checks:
+                if seen is not None and field.name not in seen:
+                    out.append(Diagnostic(
+                        struct.rel, field.line, self.id,
+                        f"{STRUCT_NAME}.{field.name} {why}",
+                        [f"declared at {struct.rel}:{field.line}"]))
+        return out

@@ -1,381 +1,27 @@
 #!/usr/bin/env python3
-"""Repo-convention linter for malsched (standard library only, like
-bench/validate_bench_json.py -- CI and the dev container install nothing).
+"""Repo-convention linter -- thin shim over the tools/lint package.
 
-Walks src/ tests/ bench/ examples/ and fails on C++ that violates the
-conventions the codebase actually depends on:
+The linter grew out of this single file into tools/lint/: a shared
+comment/string/raw-string-aware lexer (lexer.py), a rule engine that lexes
+each file exactly once (engine.py), the ported line-oriented convention
+rules (token_rules.py), and the cross-file analyses: lock-order graph
+(lock_order.py), include-layering DAG (layering.py), and ServiceStats
+exhaustiveness (stats_check.py).
 
-  steady-clock          system_clock / high_resolution_clock anywhere but
-                        support/stopwatch.hpp. Bench timing must come from
-                        the steady-clock Stopwatch or runs are not
-                        comparable across machines and NTP steps.
-  raw-mutex             std::mutex / lock_guard / unique_lock /
-                        condition_variable & friends outside
-                        support/mutex.hpp. All locking goes through the
-                        annotated wrapper so clang -Wthread-safety sees it.
-  unordered-iteration   range-for over a std::unordered_{map,set} declared
-                        in the same file. Hash-order iteration is the
-                        classic way nondeterminism leaks into JSON/table
-                        artifacts; iterate a sorted copy or an index.
-  pragma-once           every .hpp must carry #pragma once.
-  legacy-api            BatchJob in library code outside its documented
-                        shims, and legacy solve("name", instance, options)
-                        dispatch (a string-literal solver name as the first
-                        argument) outside the registry itself. New call
-                        sites build a SolveRequest over an interned
-                        InstanceHandle (API v2).
-  printf                printf-family output in library code (src/).
-                        Library code reports through return values and
-                        support/json.hpp|table.hpp; snprintf stays legal
-                        (json.cpp formats floats with it, bounded).
-  cv-wait-predicate     a CondVar `.wait(` in library code without an
-                        `unblocked by:` comment within the three lines
-                        above naming every notifying path (including the
-                        shutdown/cancel one). An undocumented unbounded
-                        wait is how drain()/shutdown() hangs are born; the
-                        comment forces the author to enumerate the wakers.
+This shim keeps the historical entry point working:
 
-Suppress a single finding with `// lint:allow(<rule>)` on the same line or
-the line directly above. File-level rules (pragma-once) accept the
-directive anywhere in the file.
+    python3 tools/lint_repo.py [files...] [--self-test] [--json] [--stats]
 
-usage:
-  lint_repo.py                 lint the tree (rule scopes apply); exit 1 on
-                               any violation
-  lint_repo.py FILE [FILE...]  strict mode: lint exactly these files with
-                               every rule armed (scopes and allowlists
-                               ignored) -- what --self-test runs on the
-                               seeded fixtures in tests/static/lint_fixtures/
-  lint_repo.py --list-rules    print rule ids + one-line docs
-  lint_repo.py --self-test     check every fixture trips exactly the rules
-                               its lint:expect(<rule>) markers claim
+See `python3 tools/lint_repo.py --help` (or tools/lint/cli.py) for the
+full interface.
 """
 
 import os
-import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCAN_DIRS = ("src", "tests", "bench", "examples")
-FIXTURE_DIR = os.path.join("tests", "static", "lint_fixtures")
-CXX_EXTENSIONS = (".hpp", ".h", ".hh", ".cpp", ".cc", ".cxx")
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-DIRECTIVE_RE = re.compile(r"lint:(allow|expect)\(([a-z0-9-]+)\)")
-
-
-def strip_code(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so token rules cannot fire on prose or quoted examples.
-    Handles //, /* */, "...", '...', and R"delim(...)delim"."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        if ch == "/" and i + 1 < n and text[i + 1] == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i = min(i + 2, n)
-        elif ch == "R" and text[i + 1:i + 2] == '"':
-            delim_end = text.find("(", i + 2)
-            if delim_end == -1:
-                out.append(ch)
-                i += 1
-                continue
-            delim = text[i + 2:delim_end]
-            close = text.find(")" + delim + '"', delim_end)
-            close = n if close == -1 else close + len(delim) + 2
-            out.append("\n" * text.count("\n", i, close))
-            i = close
-        elif ch in "\"'":
-            quote = ch
-            i += 1
-            while i < n and text[i] != quote:
-                i += 2 if text[i] == "\\" else 1
-            i += 1
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-class Violation:
-    def __init__(self, path, line, rule, message):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-# Each token rule: (id, doc, scope prefixes or None for everywhere,
-# allowlisted paths, compiled pattern, message).
-# Both the std::chrono wall clocks and the C wall-clock APIs: arrival traces
-# and latency replays are timestamped in steady-clock seconds (relative to a
-# run anchor), so any wall-clock read in timing code breaks reproducibility.
-# clock_gettime is flagged regardless of clockid -- CLOCK_MONOTONIC reads
-# belong behind the Stopwatch too.
-CLOCK_RE = re.compile(
-    r"\b(system_clock|high_resolution_clock)\b"
-    r"|\b(gettimeofday|clock_gettime|timespec_get)\s*\(")
-MUTEX_RE = re.compile(
-    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
-    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
-    r"shared_lock|condition_variable(?:_any)?)\b")
-LEGACY_RE = re.compile(r"\bBatchJob\b")
-# Legacy solve("name", instance, options) dispatch: strip_code() removes
-# string literals entirely, so a string-literal first argument leaves the
-# distinctive `solve(,` remnant this matches. Variable-name first arguments
-# (the v2 request form takes one SolveRequest) never produce it.
-LEGACY_SOLVE_RE = re.compile(r"\bsolve\s*\(\s*,")
-PRINTF_RE = re.compile(
-    r"\b(printf|fprintf|sprintf|vprintf|vfprintf|vsprintf|puts|putchar)\s*\(")
-
-TOKEN_RULES = [
-    ("steady-clock",
-     "system_clock/high_resolution_clock or C wall-clock calls "
-     "(gettimeofday/clock_gettime/timespec_get) outside support/stopwatch.hpp",
-     None,
-     {os.path.join("src", "support", "stopwatch.hpp")},
-     CLOCK_RE,
-     "use the steady-clock Stopwatch (support/stopwatch.hpp); wall clocks "
-     "make timings incomparable"),
-    ("raw-mutex",
-     "raw std::mutex/lock/condition_variable outside support/mutex.hpp",
-     None,
-     {os.path.join("src", "support", "mutex.hpp")},
-     MUTEX_RE,
-     "use the annotated Mutex/LockGuard/CondVar from support/mutex.hpp so "
-     "-Wthread-safety can check the locking"),
-    ("legacy-api",
-     "BatchJob in library code outside its documented shims",
-     ("src",),
-     {os.path.join("src", "api", "request.hpp"),
-      os.path.join("src", "api", "scheduler_service.hpp"),
-      os.path.join("src", "api", "scheduler_service.cpp"),
-      os.path.join("src", "api", "solve_batch.hpp"),
-      os.path.join("src", "api", "solve_batch.cpp"),
-      os.path.join("src", "exec", "batch_runner.hpp"),
-      os.path.join("src", "exec", "batch_runner.cpp")},
-     LEGACY_RE,
-     "BatchJob is a documented compatibility shim; new code takes "
-     "SolveRequest/InstanceHandle (API v2)"),
-    ("legacy-api",
-     "legacy solve(\"name\", ...) dispatch outside the registry shims",
-     ("src",),
-     {os.path.join("src", "api", "solver_registry.hpp"),
-      os.path.join("src", "api", "solver_registry.cpp")},
-     LEGACY_SOLVE_RE,
-     "string-name solve() dispatch is a documented registry shim; build a "
-     "SolveRequest over an interned InstanceHandle (API v2) and call "
-     "solve(request)"),
-    ("printf",
-     "printf-family output in library code (snprintf is allowed)",
-     ("src",),
-     set(),
-     PRINTF_RE,
-     "library code must not print; report through return values or "
-     "support/json.hpp / support/table.hpp"),
-]
-
-UNORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\)")
-
-# cv-wait-predicate: a `.wait(` on a condition variable (the repo convention
-# names them *cv*: work_cv_, done_cv_, idle_cv_) must sit within three raw
-# lines of an `unblocked by:` comment enumerating every notifying path --
-# including the shutdown/cancel one, which is the waker people forget and
-# the reason drain()/shutdown() hangs happen. The receiver-name match keeps
-# unrelated waits (service.wait(ticket), thread.join-style APIs) out of
-# scope. Checked against the RAW text (the doc lives in a comment, which
-# strip_code() blanks), unlike the token rules.
-CV_WAIT_RE = re.compile(r"\b[A-Za-z_]\w*cv\w*\s*\.\s*wait\s*\(")
-CV_WAIT_SCOPE = ("src",)
-# The annotated wrapper itself adapts std::condition_variable_any; its wait()
-# is the primitive the contract is ABOUT, not a use of it.
-CV_WAIT_ALLOWLIST = {os.path.join("src", "support", "mutex.hpp")}
-CV_WAIT_DOC_WINDOW = 3  # raw lines above the wait that may carry the doc
-CV_WAIT_DOC = "unblocked by"
-
-# One doc line per rule id: a rule implemented by several patterns (like
-# legacy-api) merges its docs with " / ".
-RULE_DOCS = []
-for _rid, _doc, _, _, _, _ in TOKEN_RULES:
-    for entry in RULE_DOCS:
-        if entry[0] == _rid:
-            entry[1] = entry[1] + " / " + _doc
-            break
-    else:
-        RULE_DOCS.append([_rid, _doc])
-RULE_DOCS = [tuple(entry) for entry in RULE_DOCS] + [
-    ("unordered-iteration",
-     "range-for over a std::unordered_{map,set} declared in the same file"),
-    ("pragma-once", "every .hpp must contain #pragma once"),
-    ("cv-wait-predicate",
-     "CondVar .wait() without an 'unblocked by:' comment within 3 lines"),
-]
-
-
-def unordered_names(code):
-    """Identifiers declared with an unordered container type in this file.
-    Angle brackets are matched by nesting depth so nested value types
-    (e.g. unordered_map<K, vector<V>>) do not derail the declarator."""
-    names = set()
-    for match in UNORDERED_DECL_RE.finditer(code):
-        i, depth = match.end(), 1
-        while i < len(code) and depth:
-            depth += {"<": 1, ">": -1}.get(code[i], 0)
-            i += 1
-        declarator = re.match(r"\s*([A-Za-z_]\w*)\s*[;={(]", code[i:])
-        if declarator:
-            names.add(declarator.group(1))
-    return names
-
-
-def lint_file(path, rel, strict):
-    try:
-        with open(path, encoding="utf-8") as handle:
-            text = handle.read()
-    except (OSError, UnicodeDecodeError) as err:
-        return [Violation(rel, 0, "io", str(err))]
-
-    allows = {}  # line -> set of rule ids (applies to that line and the next)
-    for lineno, line in enumerate(text.splitlines(), 1):
-        for kind, rule in DIRECTIVE_RE.findall(line):
-            if kind == "allow":
-                allows.setdefault(lineno, set()).add(rule)
-
-    code = strip_code(text)
-    code_lines = code.splitlines()
-    violations = []
-
-    def allowed(lineno, rule):
-        return (rule in allows.get(lineno, ()) or
-                rule in allows.get(lineno - 1, ()))
-
-    for rule, _doc, scope, allowlist, pattern, message in TOKEN_RULES:
-        if not strict:
-            if scope and not rel.startswith(tuple(s + os.sep for s in scope)):
-                continue
-            if rel in allowlist:
-                continue
-        for lineno, line in enumerate(code_lines, 1):
-            if pattern.search(line) and not allowed(lineno, rule):
-                violations.append(Violation(rel, lineno, rule, message))
-
-    hashed = unordered_names(code)
-    if hashed:
-        for lineno, line in enumerate(code_lines, 1):
-            for match in RANGE_FOR_RE.finditer(line):
-                if match.group(1) in hashed and not allowed(lineno, "unordered-iteration"):
-                    violations.append(Violation(
-                        rel, lineno, "unordered-iteration",
-                        f"'{match.group(1)}' is an unordered container; hash-order "
-                        "iteration leaks nondeterminism into output -- iterate a "
-                        "sorted copy"))
-
-    cv_armed = strict or (
-        rel.startswith(tuple(s + os.sep for s in CV_WAIT_SCOPE)) and
-        rel not in CV_WAIT_ALLOWLIST)
-    if cv_armed:
-        raw_lines = text.splitlines()
-        for lineno, line in enumerate(code_lines, 1):
-            if not CV_WAIT_RE.search(line) or allowed(lineno, "cv-wait-predicate"):
-                continue
-            window = raw_lines[max(0, lineno - 1 - CV_WAIT_DOC_WINDOW):lineno]
-            if not any(CV_WAIT_DOC in raw for raw in window):
-                violations.append(Violation(
-                    rel, lineno, "cv-wait-predicate",
-                    "CondVar wait without a documented wake contract; add an "
-                    "'unblocked by:' comment within 3 lines above naming every "
-                    "notifying path, including the shutdown/cancel one"))
-
-    if rel.endswith((".hpp", ".h", ".hh")) and "#pragma once" not in code:
-        if not any("pragma-once" in rules for rules in allows.values()):
-            violations.append(Violation(
-                rel, 1, "pragma-once", "header is missing #pragma once"))
-
-    return violations
-
-
-def tree_files():
-    for top in SCAN_DIRS:
-        root_dir = os.path.join(REPO_ROOT, top)
-        for dirpath, dirnames, filenames in os.walk(root_dir):
-            rel_dir = os.path.relpath(dirpath, REPO_ROOT)
-            if rel_dir.startswith(FIXTURE_DIR):
-                dirnames[:] = []
-                continue
-            dirnames.sort()
-            for name in sorted(filenames):
-                if name.endswith(CXX_EXTENSIONS):
-                    yield os.path.join(dirpath, name)
-
-
-def self_test():
-    fixture_root = os.path.join(REPO_ROOT, FIXTURE_DIR)
-    fixtures = sorted(
-        os.path.join(fixture_root, name)
-        for name in os.listdir(fixture_root)
-        if name.endswith(CXX_EXTENSIONS))
-    if not fixtures:
-        print(f"self-test: no fixtures under {FIXTURE_DIR}", file=sys.stderr)
-        return 2
-
-    failures = 0
-    for path in fixtures:
-        rel = os.path.relpath(path, REPO_ROOT)
-        with open(path, encoding="utf-8") as handle:
-            text = handle.read()
-        expected = sorted(rule for kind, rule in DIRECTIVE_RE.findall(text)
-                          if kind == "expect")
-        got = sorted(v.rule for v in lint_file(path, rel, strict=True))
-        if got == expected:
-            print(f"self-test: {rel}: ok ({', '.join(expected) or 'clean'})")
-        else:
-            failures += 1
-            print(f"self-test: {rel}: expected {expected}, got {got}",
-                  file=sys.stderr)
-    return 1 if failures else 0
-
-
-def main(argv):
-    if "--list-rules" in argv:
-        for rid, doc in RULE_DOCS:
-            print(f"{rid:22} {doc}")
-        return 0
-    if "--self-test" in argv:
-        return self_test()
-
-    strict = bool(argv)
-    if strict:
-        paths = [os.path.abspath(p) for p in argv]
-        missing = [p for p in paths if not os.path.isfile(p)]
-        if missing:
-            print(f"lint_repo.py: no such file: {missing[0]}", file=sys.stderr)
-            return 2
-    else:
-        paths = list(tree_files())
-
-    violations = []
-    for path in paths:
-        rel = os.path.relpath(path, REPO_ROOT)
-        violations.extend(lint_file(path, rel, strict))
-
-    for violation in violations:
-        print(violation)
-    if violations:
-        print(f"lint_repo.py: {len(violations)} violation(s) in "
-              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
-        return 1
-    if not strict:
-        print(f"lint_repo.py: {len(paths)} files clean")
-    return 0
-
+from tools.lint import cli  # noqa: E402  (path setup must precede import)
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(cli.main())
